@@ -1,0 +1,17 @@
+.PHONY: install test bench examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/ -q
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

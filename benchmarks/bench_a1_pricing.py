@@ -1,0 +1,71 @@
+"""A1 (ablation) — simplex pricing rules: iterations vs per-iteration cost.
+
+DESIGN.md ablation: Dantzig is the cheapest per iteration but can take
+more pivots; Devex spends an extra btran per pivot to choose better
+entering columns; Bland is the guaranteed-terminating fallback.  On the
+device model the trade shows up as simulated time, not just iteration
+counts.
+"""
+
+import numpy as np
+
+from repro.device.gpu import Device
+from repro.device.spec import V100
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPStatus
+from repro.lp.simplex import SimplexOptions, solve_lp
+from repro.reporting import format_seconds, render_table
+from repro.strategies.engine import DeviceCostHook
+
+RULES = ["dantzig", "devex", "bland"]
+
+
+def make_lp(m, n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    x0 = rng.random(n)
+    return LinearProgram(
+        c=rng.standard_normal(n),
+        a_ub=a,
+        b_ub=a @ x0 + 0.5,
+        ub=np.full(n, 10.0),
+    )
+
+
+def run_rules():
+    rows = []
+    for m, n in ((30, 45), (60, 90)):
+        objectives = {}
+        for rule in RULES:
+            lp = make_lp(m, n, seed=m)
+            device = Device(V100)
+            hook = DeviceCostHook(device, mode="dense")
+            res = solve_lp(lp, SimplexOptions(pricing=rule), hook=hook)
+            assert res.status is LPStatus.OPTIMAL
+            objectives[rule] = res.objective
+            rows.append(
+                (
+                    f"{m}x{n}",
+                    rule,
+                    res.iterations,
+                    device.kernel_count(),
+                    format_seconds(device.clock.now),
+                )
+            )
+        values = list(objectives.values())
+        assert max(values) - min(values) < 1e-6, "pricing changed the optimum"
+    return rows
+
+
+def test_a1_pricing_rules(benchmark, report):
+    rows = benchmark.pedantic(run_rules, rounds=1, iterations=1)
+    # Bland needs at least as many iterations as the greedy rules.
+    for size in {r[0] for r in rows}:
+        by_rule = {r[1]: r for r in rows if r[0] == size}
+        assert by_rule["bland"][2] >= by_rule["dantzig"][2]
+    table = render_table(
+        ["LP size", "pricing", "iterations", "kernels", "sim time"],
+        rows,
+        title="A1 — pricing-rule ablation on the V100 model",
+    )
+    report.add("A1_pricing", table)

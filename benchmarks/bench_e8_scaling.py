@@ -1,0 +1,81 @@
+"""E8 — §2.2/§2.3: supervisor–worker scaling of distributed B&B.
+
+Claims reproduced: UG-style supervisor–worker parallel branch-and-bound
+(ParaSCIP's layout) speeds up with workers until the tree's parallelism
+saturates; ramp-up and dynamic load balancing are what keep the workers
+busy (the ablation rows show the static-partitioning collapse on skewed
+trees).
+"""
+
+from repro.problems.knapsack import generate_knapsack, knapsack_dp_optimal
+from repro.reporting import format_seconds, render_series, render_table
+from repro.strategies.distributed import solve_distributed
+
+WORKERS = [1, 2, 4, 8, 16]
+
+
+def run_scaling():
+    problem = generate_knapsack(22, seed=11, correlation="strong")
+    expected, _ = knapsack_dp_optimal(problem)
+    baseline = solve_distributed(problem, num_workers=0)
+    assert abs(baseline.objective - expected) < 1e-6
+    rows = []
+    for workers in WORKERS:
+        run = solve_distributed(problem, num_workers=workers)
+        assert abs(run.objective - expected) < 1e-6
+        speedup = baseline.makespan_seconds / run.makespan_seconds
+        balance = (
+            min(run.per_worker) / max(run.per_worker) if run.per_worker else 1.0
+        )
+        rows.append((workers, run.makespan_seconds, speedup, balance, run.messages))
+    return baseline, rows
+
+
+def run_balancing_ablation():
+    problem = generate_knapsack(20, seed=5, correlation="strong")
+    rows = []
+    for label, kwargs in (
+        ("dynamic + ramp-up", dict(dynamic_load_balancing=True, ramp_up=True)),
+        ("dynamic, no ramp-up", dict(dynamic_load_balancing=True, ramp_up=False)),
+        ("static", dict(dynamic_load_balancing=False, ramp_up=True)),
+    ):
+        run = solve_distributed(problem, num_workers=4, **kwargs)
+        balance = (
+            min(run.per_worker) / max(run.per_worker) if run.per_worker else 1.0
+        )
+        rows.append(
+            (
+                label,
+                format_seconds(run.makespan_seconds),
+                run.nodes_evaluated,
+                round(balance, 3),
+            )
+        )
+    return rows
+
+
+def test_e8_scaling(benchmark, report):
+    baseline, rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    speedups = [r[2] for r in rows]
+    # Speedup grows then saturates; never super-linear past the node count.
+    assert speedups[1] > speedups[0]
+    assert speedups[-1] >= 2.0
+    series = render_series(
+        "workers",
+        [r[0] for r in rows],
+        [
+            ("speedup", [round(s, 2) for s in speedups]),
+            ("balance", [round(r[3], 2) for r in rows]),
+            ("messages", [r[4] for r in rows]),
+        ],
+        title=(
+            "E8 — supervisor–worker scaling "
+            f"(sequential baseline {format_seconds(baseline.makespan_seconds)})"
+        ),
+    )
+    ablation = render_table(
+        ["configuration", "makespan", "nodes", "min/max balance"],
+        run_balancing_ablation(),
+        title="E8b — UG mechanisms ablation (4 workers): ramp-up & balancing",
+    )
+    report.add("E8_scaling", series + "\n\n" + ablation)

@@ -1,0 +1,45 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark computes its experiment's rows, registers the rendered
+table via the ``report`` fixture, and the tables are echoed after the
+pytest run (and written to ``benchmarks/results/``) so the regenerated
+"tables and figures" are visible regardless of output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, str]] = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class Reporter:
+    """Collects one experiment's rendered output."""
+
+    def add(self, experiment_id: str, text: str) -> None:
+        _REPORTS.append((experiment_id, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{experiment_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+
+@pytest.fixture
+def report() -> Reporter:
+    """Experiment-table reporter fixture."""
+    return Reporter()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced experiment tables")
+    for experiment_id, text in sorted(_REPORTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {experiment_id} ====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,45 @@
+"""GPU-friendly branch-and-bound with the IVM tree (Gmys et al., §2.3).
+
+Schedules a permutation flow-shop with both tree representations — the
+flat Integer-Vector-Matrix block that made pure-GPU B&B practical, and
+the conventional linked-node stack — confirming identical searches while
+contrasting their memory footprints.
+
+Run:  python examples/flowshop_ivm.py
+"""
+
+from repro.mip.ivm import ivm_branch_and_bound, linked_list_branch_and_bound
+from repro.problems import generate_flowshop
+from repro.reporting import format_bytes, render_table
+
+JOBS, MACHINES = 9, 3
+shop = generate_flowshop(JOBS, MACHINES, seed=7)
+print(f"permutation flow-shop: {JOBS} jobs x {MACHINES} machines\n")
+
+ivm = ivm_branch_and_bound(JOBS, shop.lower_bound, shop.makespan)
+linked = linked_list_branch_and_bound(JOBS, shop.lower_bound, shop.makespan)
+
+assert ivm.best_cost == linked.best_cost
+assert ivm.nodes_explored == linked.nodes_explored
+
+print(f"optimal makespan : {ivm.best_cost:.0f}")
+print(f"optimal sequence : {ivm.best_permutation}")
+print()
+rows = [
+    (
+        "IVM (flat block)",
+        ivm.nodes_explored,
+        ivm.pruned,
+        format_bytes(ivm.tree_memory_bytes),
+    ),
+    (
+        "linked list",
+        linked.nodes_explored,
+        linked.pruned,
+        format_bytes(linked.tree_memory_bytes),
+    ),
+]
+print(render_table(["representation", "nodes", "pruned", "tree memory"], rows))
+ratio = linked.tree_memory_bytes / ivm.tree_memory_bytes
+print(f"\nIVM uses {ratio:.0f}x less memory — and it is a constant-size,")
+print("pointer-free block, which is why it maps so well onto GPU memory.")

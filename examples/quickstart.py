@@ -1,0 +1,50 @@
+"""Quickstart: define and solve a small mixed integer program.
+
+A factory chooses production quantities of two products (integer) and
+an overtime level (continuous) to maximize profit under machine-hour
+and material budgets::
+
+    maximize  30 x0 + 40 x1 + 5 y
+    s.t.      2 x0 + 4 x1 - y ≤ 40      (machine hours, overtime helps)
+              3 x0 + 2 x1     ≤ 30      (material)
+              y ≤ 8                     (overtime cap)
+              x integer ≥ 0, y ≥ 0
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.mip import BranchAndBoundSolver, MIPProblem, SolverOptions
+
+problem = MIPProblem(
+    c=np.array([30.0, 40.0, 5.0]),
+    integer=np.array([True, True, False]),
+    a_ub=np.array(
+        [
+            [2.0, 4.0, -1.0],
+            [3.0, 2.0, 0.0],
+        ]
+    ),
+    b_ub=np.array([40.0, 30.0]),
+    lb=np.zeros(3),
+    ub=np.array([20.0, 20.0, 8.0]),
+    name="factory",
+)
+
+solver = BranchAndBoundSolver(problem, SolverOptions(keep_tree=True))
+result = solver.solve()
+
+print(f"status     : {result.status.value}")
+print(f"objective  : {result.objective:.2f}")
+print(f"x0 (prod A): {result.x[0]:.0f}")
+print(f"x1 (prod B): {result.x[1]:.0f}")
+print(f"y overtime : {result.x[2]:.2f}")
+print(f"nodes      : {result.stats.nodes_processed}")
+print(f"LP iters   : {result.stats.lp_iterations}")
+print()
+print("Branch-and-bound tree (Figure 1 style):")
+print(result.tree.render())
+
+assert result.ok
+assert problem.is_feasible(result.x)

@@ -1,0 +1,50 @@
+"""Post-optimal analysis: duals, ranging, and reduced-cost fixing.
+
+All the quantities below are read off the resident basis factors with
+the same ftran/btran kernels the simplex already runs — free insight on
+the device (§5.1's regime).  Reduced-cost fixing then removes variables
+from the search for the whole subtree.
+
+Run:  python examples/sensitivity_and_fixing.py
+"""
+
+import numpy as np
+
+from repro.lp.sensitivity import analyze, reduced_cost_fixing
+from repro.lp.simplex import solve_standard_form
+from repro.mip.cuts.gomory import standard_integer_mask
+from repro.problems import generate_knapsack
+from repro.reporting import render_table
+
+problem = generate_knapsack(12, seed=7)
+sf = problem.relaxation().to_standard_form()
+res = solve_standard_form(sf)
+assert res.ok
+
+report = analyze(sf, res)
+print(f"LP bound: {res.objective:.2f}\n")
+
+print("row duals and rhs ranging (how far each rhs can move):")
+rows = []
+for i in range(min(sf.m, 6)):
+    lo, hi = report.rhs_ranges[i]
+    rows.append(
+        (
+            f"row {i}",
+            f"{report.duals[i]:.3f}",
+            "-inf" if not np.isfinite(lo) else f"{lo:.2f}",
+            "+inf" if not np.isfinite(hi) else f"{hi:.2f}",
+        )
+    )
+print(render_table(["row", "dual", "Δb min", "Δb max"], rows))
+
+int_cols = np.nonzero(standard_integer_mask(problem, sf))[0]
+for gap_label, incumbent in (
+    ("weak incumbent (bound − 50)", res.objective - 50.0),
+    ("strong incumbent (bound − 1)", res.objective - 1.0),
+):
+    fixed = reduced_cost_fixing(sf, res, incumbent, int_cols)
+    print(f"\n{gap_label}: {fixed.size} variables fixed to 0 by reduced cost")
+    if fixed.size:
+        originals = [int(np.nonzero(sf.pos_col == j)[0][0]) for j in fixed]
+        print(f"  fixed items: {sorted(originals)}")

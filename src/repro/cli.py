@@ -1,0 +1,175 @@
+"""Command-line interface: solve / generate / info over MPS files.
+
+    python -m repro solve model.mps --strategy cpu_orchestrated
+    python -m repro generate knap-20 -o knap.mps
+    python -m repro info model.mps
+
+``solve`` runs branch-and-cut (optionally under one of the paper's
+metered strategy engines, printing the platform report) and supports
+checkpointing to / restarting from a JSON snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.mip.checkpoint import load_snapshot, save_snapshot
+from repro.mip.snapshot import capture_snapshot, resume_from_snapshot
+from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+from repro.problems.miplib import MINI_MIPLIB, instance_by_name
+from repro.problems.mps import read_mps, write_mps
+from repro.reporting import format_bytes, format_seconds, render_table
+from repro.strategies.runner import STRATEGIES, run_strategy
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (solve / generate / info / list)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-based MIP reproduction: solve, generate, inspect.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve an MPS model")
+    solve.add_argument("model", help="path to an MPS file")
+    solve.add_argument(
+        "--strategy",
+        choices=sorted(STRATEGIES),
+        default=None,
+        help="run under a metered strategy engine (§3)",
+    )
+    solve.add_argument("--branching", default="pseudocost")
+    solve.add_argument("--node-selection", default="best_first")
+    solve.add_argument("--cut-rounds", type=int, default=0)
+    solve.add_argument("--node-limit", type=int, default=200_000)
+    solve.add_argument(
+        "--checkpoint", default=None, help="write a snapshot here if interrupted"
+    )
+    solve.add_argument(
+        "--restart-from", default=None, help="resume from a snapshot file"
+    )
+
+    generate = sub.add_parser("generate", help="write a mini-MIPLIB instance")
+    generate.add_argument("name", choices=sorted(MINI_MIPLIB))
+    generate.add_argument("-o", "--output", required=True)
+
+    info = sub.add_parser("info", help="summarize an MPS model")
+    info.add_argument("model")
+
+    sub.add_parser("list", help="list mini-MIPLIB instances")
+    return parser
+
+
+def cmd_solve(args) -> int:
+    """``repro solve``: branch-and-cut an MPS model (optionally metered)."""
+    problem = read_mps(args.model)
+    options = SolverOptions(
+        branching=args.branching,
+        node_selection=args.node_selection,
+        cut_rounds=args.cut_rounds,
+        node_limit=args.node_limit,
+        keep_tree=args.checkpoint is not None,
+    )
+
+    if args.restart_from:
+        snapshot = load_snapshot(args.restart_from)
+        result = resume_from_snapshot(problem, snapshot)
+        print(f"restarted from {args.restart_from} ({snapshot.num_leaves} leaves)")
+        print(f"status    : {result.status.value}")
+        if result.x is not None:
+            print(f"objective : {result.objective:.6g}")
+        return 0 if result.ok else 1
+
+    if args.strategy:
+        report = run_strategy(problem, args.strategy, options)
+        result = report.result
+        print(f"strategy  : {args.strategy}")
+        print(f"status    : {result.status.value}")
+        if result.x is not None:
+            print(f"objective : {result.objective:.6g}")
+        print(f"nodes     : {result.stats.nodes_processed}")
+        print(f"makespan  : {format_seconds(report.makespan_seconds)} (simulated)")
+        print(f"kernels   : {report.kernels}")
+        print(
+            f"transfers : {report.h2d_transfers + report.d2h_transfers} "
+            f"({format_bytes(report.bytes_moved)})"
+        )
+        return 0 if result.ok else 1
+
+    solver = BranchAndBoundSolver(problem, options)
+    result = solver.solve()
+    print(f"status    : {result.status.value}")
+    if result.x is not None:
+        print(f"objective : {result.objective:.6g}")
+        nonzero = [
+            (f"x{j}", result.x[j])
+            for j in range(problem.n)
+            if abs(result.x[j]) > 1e-9
+        ]
+        if len(nonzero) <= 30:
+            print(render_table(["var", "value"], nonzero))
+    print(f"nodes     : {result.stats.nodes_processed}")
+    print(f"LP iters  : {result.stats.lp_iterations}")
+    if args.checkpoint and result.tree is not None:
+        incumbent = result.objective if result.x is not None else -np.inf
+        snap = capture_snapshot(result.tree, incumbent, result.x)
+        save_snapshot(snap, args.checkpoint)
+        print(f"checkpoint: {args.checkpoint} ({snap.num_leaves} open leaves)")
+    return 0 if result.ok else 1
+
+
+def cmd_generate(args) -> int:
+    """``repro generate``: write a mini-MIPLIB instance as MPS."""
+    problem = instance_by_name(args.name)
+    write_mps(problem, args.output)
+    print(f"wrote {args.name} ({problem.n} vars) to {args.output}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """``repro info``: summarize an MPS model's shape and types."""
+    problem = read_mps(args.model)
+    rows = [
+        ("name", problem.name),
+        ("variables", problem.n),
+        ("integer", problem.num_integer),
+        ("continuous", problem.n - problem.num_integer),
+        ("<= rows", 0 if problem.a_ub is None else problem.a_ub.shape[0]),
+        ("= rows", 0 if problem.a_eq is None else problem.a_eq.shape[0]),
+        ("pure binary", problem.is_pure_binary),
+        ("matrix bytes", format_bytes(problem.matrix_bytes())),
+    ]
+    print(render_table(["field", "value"], rows))
+    return 0
+
+
+def cmd_list(_args) -> int:
+    """``repro list``: print the mini-MIPLIB registry names."""
+    for name in sorted(MINI_MIPLIB):
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": cmd_solve,
+        "generate": cmd_generate,
+        "info": cmd_info,
+        "list": cmd_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Simulated message-passing substrate.
+
+The paper's strategies 2–4 (§3) orchestrate branch-and-cut across many
+nodes with MPI, in the style of the Ubiquity Generator (UG) framework
+(§2.3): a Supervisor–Worker layout with ramp-up, dynamic load balancing,
+and checkpointing.  No MPI runtime exists here, so this package provides
+a deterministic in-process equivalent:
+
+- :mod:`repro.comm.network` — latency/bandwidth network model and
+  payload sizing.
+- :mod:`repro.comm.mpi` — :class:`SimMPI`: ranks are generator
+  coroutines that yield communication requests (``Send``, ``Recv``,
+  ``Barrier``, ``Bcast``, ``Allreduce``, ``Gather``, ``Compute``); an
+  event-driven scheduler matches messages, advances per-rank simulated
+  clocks, and detects deadlock.
+- :mod:`repro.comm.supervisor` — the UG-style supervisor–worker engine
+  used by the distributed branch-and-bound strategies.
+"""
+
+from repro.comm.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Allreduce,
+    Recv,
+    Reduce,
+    Scatter,
+    Send,
+    SimMPI,
+)
+from repro.comm.network import NetworkSpec, SUMMIT_FAT_TREE, payload_bytes
+from repro.comm.supervisor import (
+    SupervisorConfig,
+    SupervisorResult,
+    Task,
+    TaskResult,
+    run_supervisor_worker,
+)
+
+__all__ = [
+    "SimMPI",
+    "Send",
+    "Recv",
+    "Barrier",
+    "Bcast",
+    "Allreduce",
+    "Gather",
+    "Reduce",
+    "Scatter",
+    "Compute",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "NetworkSpec",
+    "SUMMIT_FAT_TREE",
+    "payload_bytes",
+    "Task",
+    "TaskResult",
+    "SupervisorConfig",
+    "SupervisorResult",
+    "run_supervisor_worker",
+]

@@ -1,0 +1,59 @@
+"""Inter-node network model and payload sizing.
+
+Message cost is the usual alpha–beta model: ``latency + bytes/bandwidth``.
+Payload byte counts are estimated structurally so that shipping a
+branch-and-bound node (bounds + basis) across ranks is priced like the
+real serialized object would be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Alpha–beta cost model for one interconnect."""
+
+    name: str
+    #: One-way message latency in seconds (alpha).
+    latency: float
+    #: Point-to-point bandwidth in B/s (1/beta).
+    bandwidth: float
+
+    def message_time(self, nbytes: int) -> float:
+        """Seconds for one point-to-point message of ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Summit-class fat-tree: ~1.5 µs latency, 12.5 GB/s per direction.
+SUMMIT_FAT_TREE = NetworkSpec(name="summit-fat-tree", latency=1.5e-6, bandwidth=12.5e9)
+
+#: A loopback network for single-node (threaded) runs: shared memory.
+SHARED_MEMORY = NetworkSpec(name="shared-memory", latency=2e-7, bandwidth=100e9)
+
+
+def payload_bytes(payload: Any) -> int:
+    """Structural estimate of a payload's serialized size in bytes."""
+    if payload is None:
+        return 8
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bool, int, float)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, dict):
+        return 16 + sum(payload_bytes(k) + payload_bytes(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 16 + sum(payload_bytes(item) for item in payload)
+    size_hint = getattr(payload, "comm_nbytes", None)
+    if size_hint is not None:
+        return int(size_hint() if callable(size_hint) else size_hint)
+    # Unknown object: charge a conservative flat envelope.
+    return 256

@@ -1,0 +1,246 @@
+"""Roofline cost model for every kernel class the MIP solver issues.
+
+A kernel's simulated duration is the classic roofline bound
+
+    launch_latency + max(flops / sustained_flops, bytes / mem_bandwidth)
+
+plus, for level-scheduled sparse factorizations, one device-wide
+synchronization per level (the GLU-style critical path, paper §4.2).
+``sustained_flops`` folds in the device's dense/sparse efficiency and a
+utilization factor for under-sized kernels — the two effects the paper's
+§4–§5 design discussion revolves around.
+
+Kernel *builders* below return a :class:`KernelCost` from problem shapes;
+:class:`repro.device.gpu.Device` executes the numerics and charges the
+cost to its clock/streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.spec import DeviceSpec
+from repro.la import flops as F
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Shape-derived cost of one kernel launch."""
+
+    name: str
+    flops: int
+    bytes_moved: int
+    #: Independent scalar work items available at once (utilization input).
+    parallel_elements: int
+    #: True for irregular/divergent kernels (sparse efficiency applies).
+    sparse: bool = False
+    #: Device-wide synchronization points inside the kernel (levels).
+    serial_depth: int = 0
+
+    def duration(self, spec: DeviceSpec) -> float:
+        """Simulated seconds this kernel occupies the device."""
+        sustained = spec.effective_flops(self.parallel_elements, self.sparse)
+        compute = self.flops / sustained if self.flops else 0.0
+        memory = self.bytes_moved / spec.mem_bandwidth if self.bytes_moved else 0.0
+        sync = self.serial_depth * spec.sync_latency
+        return spec.kernel_launch_latency + max(compute, memory) + sync
+
+
+def gemm_kernel(m: int, n: int, k: int) -> KernelCost:
+    """Dense matrix multiply C(m,n) = A(m,k) B(k,n)."""
+    return KernelCost(
+        name="gemm",
+        flops=F.gemm_flops(m, n, k),
+        bytes_moved=F.gemm_bytes(m, n, k),
+        parallel_elements=m * n,
+    )
+
+
+def gemv_kernel(m: int, n: int) -> KernelCost:
+    """Dense matrix-vector product."""
+    return KernelCost(
+        name="gemv",
+        flops=F.gemv_flops(m, n),
+        bytes_moved=F.gemv_bytes(m, n),
+        parallel_elements=m,
+    )
+
+
+def axpy_kernel(n: int) -> KernelCost:
+    """Vector update y += a x."""
+    return KernelCost(
+        name="axpy",
+        flops=F.axpy_flops(n),
+        bytes_moved=3 * F.vector_bytes(n),
+        parallel_elements=n,
+    )
+
+
+def dot_kernel(n: int) -> KernelCost:
+    """Dot product (tree reduction → log-depth sync charged as 1)."""
+    return KernelCost(
+        name="dot",
+        flops=F.dot_flops(n),
+        bytes_moved=2 * F.vector_bytes(n),
+        parallel_elements=n,
+        serial_depth=1,
+    )
+
+
+def getrf_kernel(n: int) -> KernelCost:
+    """Dense LU factorization.
+
+    The per-column pivot search serializes n device-wide steps; the
+    trailing updates dominate flops.  Parallelism per step is ~n² but we
+    charge the mean trailing block (n²/4) to reflect shrink-to-zero.
+    """
+    return KernelCost(
+        name="getrf",
+        flops=F.lu_flops(n),
+        bytes_moved=F.matrix_bytes(n, n),
+        parallel_elements=max(1, (n * n) // 4),
+        serial_depth=n,
+    )
+
+
+def potrf_kernel(n: int) -> KernelCost:
+    """Dense Cholesky factorization."""
+    return KernelCost(
+        name="potrf",
+        flops=F.cholesky_flops(n),
+        bytes_moved=F.matrix_bytes(n, n),
+        parallel_elements=max(1, (n * n) // 4),
+        serial_depth=n,
+    )
+
+
+def trsv_kernel(n: int) -> KernelCost:
+    """Dense triangular solve, one RHS (level-blocked).
+
+    Production GPU solvers block the substitution into ~32-row panels:
+    within a panel rows resolve via a small dense inverse, so the serial
+    depth is n/32 panels, with panel-GEMV parallelism between them.
+    """
+    return KernelCost(
+        name="trsv",
+        flops=F.trsv_flops(n),
+        bytes_moved=F.matrix_bytes(n, n) // 2 + 2 * F.vector_bytes(n),
+        parallel_elements=max(1, 4 * n),
+        serial_depth=max(1, n // 32),
+    )
+
+
+def trsm_kernel(n: int, nrhs: int) -> KernelCost:
+    """Dense triangular solve with many RHS (parallelism across RHS)."""
+    return KernelCost(
+        name="trsm",
+        flops=F.trsm_flops(n, nrhs),
+        bytes_moved=F.matrix_bytes(n, n) // 2 + 2 * F.matrix_bytes(n, nrhs),
+        parallel_elements=max(1, nrhs * n // 2),
+        serial_depth=max(1, n // 32),
+    )
+
+
+def spmv_kernel(m: int, nnz: int) -> KernelCost:
+    """CSR sparse matrix-vector product (irregular gather)."""
+    return KernelCost(
+        name="spmv",
+        flops=F.spmv_flops(nnz),
+        bytes_moved=F.csr_bytes(m, nnz) + 2 * F.vector_bytes(m),
+        parallel_elements=m,
+        sparse=True,
+    )
+
+
+def sparse_getrf_kernel(n: int, factor_nnz: int, num_levels: int) -> KernelCost:
+    """Level-scheduled sparse LU (GLU-style).
+
+    ``num_levels`` is the column-DAG critical path from
+    :class:`repro.la.sparse_lu.SparseLU`; each level is one device-wide
+    sync, which is exactly why few-level (well-parallelizable) matrices
+    run well on GPUs and long chains do not (paper §4.2).
+    """
+    per_level = max(1, n // max(1, num_levels))
+    return KernelCost(
+        name="sparse_getrf",
+        flops=F.sparse_lu_flops(factor_nnz),
+        bytes_moved=F.csr_bytes(n, factor_nnz),
+        parallel_elements=per_level * 8,  # ~8 scalar ops live per column
+        sparse=True,
+        serial_depth=num_levels,
+    )
+
+
+def sparse_trsv_kernel(n: int, factor_nnz: int, num_levels: int) -> KernelCost:
+    """Sparse triangular solve over the same level schedule."""
+    return KernelCost(
+        name="sparse_trsv",
+        flops=F.spmv_flops(factor_nnz),
+        bytes_moved=F.csr_bytes(n, factor_nnz),
+        parallel_elements=max(1, n // max(1, num_levels)),
+        sparse=True,
+        serial_depth=num_levels,
+    )
+
+
+def batched_getrf_kernel(batch: int, n: int) -> KernelCost:
+    """Batched LU: one launch, batch×n² parallel elements (paper §5.5).
+
+    The serial depth is n (lockstep elimination steps), *not* batch×n —
+    the whole point of batching.
+    """
+    return KernelCost(
+        name="batched_getrf",
+        flops=batch * F.lu_flops(n),
+        bytes_moved=batch * F.matrix_bytes(n, n),
+        parallel_elements=batch * max(1, (n * n) // 4),
+        serial_depth=n,
+    )
+
+
+def batched_potrf_kernel(batch: int, n: int) -> KernelCost:
+    """Batched Cholesky."""
+    return KernelCost(
+        name="batched_potrf",
+        flops=batch * F.cholesky_flops(n),
+        bytes_moved=batch * F.matrix_bytes(n, n),
+        parallel_elements=batch * max(1, (n * n) // 4),
+        serial_depth=n,
+    )
+
+
+def batched_trsv_kernel(batch: int, n: int) -> KernelCost:
+    """Batched triangular solves (parallel across the batch)."""
+    return KernelCost(
+        name="batched_trsv",
+        flops=batch * F.trsv_flops(n),
+        bytes_moved=batch * (F.matrix_bytes(n, n) // 2 + 2 * F.vector_bytes(n)),
+        parallel_elements=batch * max(1, n // 2),
+        serial_depth=n,
+    )
+
+
+def eta_chain_kernel(n: int, num_etas: int) -> KernelCost:
+    """Apply a chain of ``num_etas`` eta updates to an n-vector (fused).
+
+    Real GPU simplex codes fuse the product-form update chain into one
+    kernel ([28]/[31] in the paper); each eta is an axpy+scale that must
+    follow the previous, so the chain contributes serial depth.
+    """
+    return KernelCost(
+        name="eta_chain",
+        flops=num_etas * (F.axpy_flops(n) + 1),
+        bytes_moved=(num_etas + 2) * F.vector_bytes(n),
+        parallel_elements=n,
+        serial_depth=max(1, num_etas),
+    )
+
+
+def batched_gemm_kernel(batch: int, m: int, n: int, k: int) -> KernelCost:
+    """Batched GEMM."""
+    return KernelCost(
+        name="batched_gemm",
+        flops=batch * F.gemm_flops(m, n, k),
+        bytes_moved=batch * F.gemm_bytes(m, n, k),
+        parallel_elements=batch * m * n,
+    )

@@ -1,0 +1,163 @@
+"""Calibrated hardware specifications for the simulated platform.
+
+Numbers are the published peak rates of the accelerators the paper
+discusses (§2.2 names Summit's V100s; §3 notes 80 GB devices, which is
+the A100; Frontier uses AMD Instinct parts, represented by the MI100).
+The host preset models a dual-socket server node.
+
+The two efficiency knobs encode the paper's central §4/§5.4 asymmetry:
+
+- ``dense_efficiency`` ≈ 0.8 — MAGMA dense solvers reach "approximately
+  80 percent of the GPU's theoretical peak" (paper §4.1, citing [35]).
+- ``sparse_efficiency`` — the fraction of peak sustained by irregular,
+  divergent sparse kernels.  GPU sparse LU papers (GLU et al.) report a
+  few percent of peak; CPUs tolerate irregularity far better, so the
+  host's sparse efficiency is an order of magnitude higher *relative to
+  its own peak*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GIB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Analytic model of one compute device (GPU or CPU host).
+
+    ``parallel_lanes`` is the number of scalar fp64 lanes that must be
+    occupied to reach peak; small kernels achieve a utilization of
+    ``min(1, parallel_elements / parallel_lanes)``, which is what makes
+    one small LP a poor GPU workload and a *batch* of them a good one
+    (paper §5.5).
+    """
+
+    name: str
+    #: Peak fp64 throughput in flop/s.
+    peak_flops: float
+    #: Main (HBM or DDR) memory bandwidth in B/s.
+    mem_bandwidth: float
+    #: Memory capacity in bytes.
+    mem_capacity: int
+    #: Latency to launch one kernel, seconds.
+    kernel_launch_latency: float
+    #: Latency of one intra-kernel device-wide synchronization point
+    #: (pivot search, level barrier); far cheaper than a launch.
+    sync_latency: float
+    #: Fraction of peak sustained by dense regular kernels.
+    dense_efficiency: float
+    #: Fraction of peak sustained by sparse/divergent kernels.
+    sparse_efficiency: float
+    #: Scalar lanes needed for full utilization.
+    parallel_lanes: int
+    #: Maximum kernels that can make progress concurrently (streams).
+    max_concurrent_kernels: int
+    #: True for accelerator devices (data must be explicitly moved).
+    is_accelerator: bool = True
+    #: Board/package power while busy, watts (paper §2.2's efficiency
+    #: argument: "GPUs offer more energy efficient computing").
+    tdp_watts: float = 300.0
+
+    def utilization(self, parallel_elements: int) -> float:
+        """Fraction of lanes a kernel with this much parallelism fills."""
+        if parallel_elements <= 0:
+            return 1.0 / self.parallel_lanes
+        return min(1.0, parallel_elements / self.parallel_lanes)
+
+    def effective_flops(self, parallel_elements: int, sparse: bool = False) -> float:
+        """Sustained flop/s for a kernel of given parallelism and kind."""
+        eff = self.sparse_efficiency if sparse else self.dense_efficiency
+        return self.peak_flops * eff * self.utilization(parallel_elements)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Host↔device (or device↔device) interconnect model."""
+
+    name: str
+    #: Per-transfer latency in seconds.
+    latency: float
+    #: Sustained bandwidth in B/s.
+    bandwidth: float
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` across this link."""
+        return self.latency + nbytes / self.bandwidth
+
+
+#: NVIDIA Tesla V100 (Summit's GPU): 7.8 TF fp64, 900 GB/s HBM2, 16 GB.
+V100 = DeviceSpec(
+    name="V100",
+    peak_flops=7.8e12,
+    mem_bandwidth=900e9,
+    mem_capacity=16 * GIB,
+    kernel_launch_latency=5e-6,
+    sync_latency=0.5e-6,
+    dense_efficiency=0.80,
+    sparse_efficiency=0.05,
+    parallel_lanes=2560 * 32,  # 2560 fp64 cores, ~32-deep latency hiding
+    max_concurrent_kernels=32,
+    tdp_watts=300.0,
+)
+
+#: NVIDIA A100 80GB: 9.7 TF fp64, 2.0 TB/s HBM2e — the "80GB" device of §3.
+A100 = DeviceSpec(
+    name="A100",
+    peak_flops=9.7e12,
+    mem_bandwidth=2.0e12,
+    mem_capacity=80 * GIB,
+    kernel_launch_latency=4e-6,
+    sync_latency=0.4e-6,
+    dense_efficiency=0.82,
+    sparse_efficiency=0.06,
+    parallel_lanes=3456 * 32,
+    max_concurrent_kernels=32,
+    tdp_watts=400.0,
+)
+
+#: AMD Instinct MI100: 11.5 TF fp64, 1.23 TB/s, 32 GB (Frontier-class part).
+MI100 = DeviceSpec(
+    name="MI100",
+    peak_flops=11.5e12,
+    mem_bandwidth=1.23e12,
+    mem_capacity=32 * GIB,
+    kernel_launch_latency=6e-6,
+    sync_latency=0.6e-6,
+    dense_efficiency=0.75,
+    sparse_efficiency=0.05,
+    parallel_lanes=7680 * 16,
+    max_concurrent_kernels=32,
+    tdp_watts=300.0,
+)
+
+#: Dual-socket 64-core host: ~2 TF fp64 peak, 400 GB/s, 512 GB DDR.
+#: Sparse efficiency is 6× the GPU's *relative* value — CPUs tolerate
+#: irregular access (the §5.4 / strategy-3 rationale).
+CPU_HOST = DeviceSpec(
+    name="CPU-host",
+    peak_flops=2.0e12,
+    mem_bandwidth=400e9,
+    mem_capacity=512 * GIB,
+    kernel_launch_latency=2e-7,
+    sync_latency=2e-8,
+    dense_efficiency=0.60,
+    sparse_efficiency=0.30,
+    parallel_lanes=64 * 8,  # 64 cores × 8-wide AVX-512 fp64
+    max_concurrent_kernels=64,
+    is_accelerator=False,
+    tdp_watts=500.0,  # two 250 W sockets
+)
+
+#: PCIe gen3 x16: ~12 GB/s sustained, 10 µs latency.
+PCIE3 = LinkSpec(name="PCIe3-x16", latency=10e-6, bandwidth=12e9)
+
+#: PCIe gen4 x16: ~24 GB/s sustained.
+PCIE4 = LinkSpec(name="PCIe4-x16", latency=8e-6, bandwidth=24e9)
+
+#: NVLink 2.0 (Summit's CPU↔GPU link): 50 GB/s per direction per brick.
+NVLINK = LinkSpec(name="NVLink2", latency=1.3e-6, bandwidth=50e9)
+
+#: Inter-node network, Summit-class fat-tree EDR InfiniBand.
+IB_EDR = LinkSpec(name="IB-EDR", latency=1.5e-6, bandwidth=12.5e9)

@@ -1,0 +1,103 @@
+"""Operation tracing for the simulated device.
+
+Attach a :class:`Tracer` to a :class:`repro.device.gpu.Device` and every
+kernel launch and transfer is recorded with its simulated start time and
+duration — the nvprof-style timeline a performance engineer would read.
+``utilization_report`` aggregates busy time per kernel class, which the
+ablation benches use to attribute where a strategy's time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.device.gpu import Device
+from repro.device import kernels as K
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded operation."""
+
+    kind: str  # "kernel" | "h2d" | "d2h"
+    name: str
+    start: float
+    duration: float
+    nbytes: int = 0
+
+    @property
+    def end(self) -> float:
+        """Completion time."""
+        return self.start + self.duration
+
+
+class Tracer:
+    """Records a device's operations by wrapping its charge/transfer paths."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.events: List[TraceEvent] = []
+        self._orig_charge = device._charge
+        self._orig_h2d = device.transfers.host_to_device
+        self._orig_d2h = device.transfers.device_to_host
+        device._charge = self._charge  # type: ignore[method-assign]
+        device.transfers.host_to_device = self._h2d  # type: ignore[method-assign]
+        device.transfers.device_to_host = self._d2h  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        """Restore the device's original methods."""
+        self.device._charge = self._orig_charge  # type: ignore[method-assign]
+        self.device.transfers.host_to_device = self._orig_h2d  # type: ignore[method-assign]
+        self.device.transfers.device_to_host = self._orig_d2h  # type: ignore[method-assign]
+
+    # -- wrapped paths -----------------------------------------------------------
+
+    def _charge(self, cost: K.KernelCost, stream) -> float:
+        start = self.device.clock.now if stream is None else max(
+            stream.ready, self.device.clock.now
+        )
+        duration = self._orig_charge(cost, stream)
+        self.events.append(
+            TraceEvent(kind="kernel", name=cost.name, start=start, duration=duration)
+        )
+        return duration
+
+    def _h2d(self, nbytes: int) -> float:
+        start = self.device.clock.now
+        seconds = self._orig_h2d(nbytes)
+        self.events.append(
+            TraceEvent(kind="h2d", name="h2d", start=start, duration=seconds, nbytes=nbytes)
+        )
+        return seconds
+
+    def _d2h(self, nbytes: int) -> float:
+        start = self.device.clock.now
+        seconds = self._orig_d2h(nbytes)
+        self.events.append(
+            TraceEvent(kind="d2h", name="d2h", start=start, duration=seconds, nbytes=nbytes)
+        )
+        return seconds
+
+    # -- analysis -----------------------------------------------------------------
+
+    def utilization_report(self) -> Dict[str, float]:
+        """Busy simulated seconds per operation name."""
+        busy: Dict[str, float] = {}
+        for event in self.events:
+            busy[event.name] = busy.get(event.name, 0.0) + event.duration
+        return busy
+
+    def total_transfer_bytes(self) -> int:
+        """Bytes moved in either direction while traced."""
+        return sum(e.nbytes for e in self.events if e.kind in ("h2d", "d2h"))
+
+    def timeline(self, limit: Optional[int] = None) -> str:
+        """Human-readable event list (first ``limit`` events)."""
+        rows = self.events if limit is None else self.events[:limit]
+        lines = [
+            f"{e.start * 1e6:12.2f} µs  {e.kind:6s} {e.name:16s} "
+            f"{e.duration * 1e6:10.2f} µs" + (f"  {e.nbytes} B" if e.nbytes else "")
+            for e in rows
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Host↔device transfer engine.
+
+Sections 5.1–5.3 of the paper are arguments about *when data must cross
+the PCIe/NVLink boundary*: rank-1 updates need no transfers, CPU-side cut
+generation needs a device→host→device round trip, and tree-node reuse is
+about keeping the matrix resident.  This engine prices and counts every
+crossing so those claims become measurable quantities (experiments E4–E6).
+"""
+
+from __future__ import annotations
+
+from repro.device.clock import SimClock
+from repro.device.spec import LinkSpec
+from repro.metrics import Metrics
+
+
+class TransferEngine:
+    """Models one link between host memory and one device's memory."""
+
+    def __init__(self, link: LinkSpec, clock: SimClock, metrics: Metrics):
+        self.link = link
+        self.clock = clock
+        self.metrics = metrics
+
+    def host_to_device(self, nbytes: int) -> float:
+        """Move ``nbytes`` host→device; returns the simulated seconds."""
+        seconds = self.link.transfer_time(int(nbytes))
+        self.clock.advance(seconds)
+        self.metrics.inc("transfers.h2d")
+        self.metrics.inc("transfers.h2d_bytes", int(nbytes))
+        self.metrics.add_time("time.h2d", seconds)
+        return seconds
+
+    def device_to_host(self, nbytes: int) -> float:
+        """Move ``nbytes`` device→host; returns the simulated seconds."""
+        seconds = self.link.transfer_time(int(nbytes))
+        self.clock.advance(seconds)
+        self.metrics.inc("transfers.d2h")
+        self.metrics.inc("transfers.d2h_bytes", int(nbytes))
+        self.metrics.add_time("time.d2h", seconds)
+        return seconds
+
+    @property
+    def total_transfers(self) -> int:
+        """Total crossings in either direction."""
+        return self.metrics.count("transfers.h2d") + self.metrics.count(
+            "transfers.d2h"
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved in either direction."""
+        return self.metrics.count("transfers.h2d_bytes") + self.metrics.count(
+            "transfers.d2h_bytes"
+        )

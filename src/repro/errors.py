@@ -1,0 +1,120 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without catching programming errors.
+The hierarchy mirrors the major subsystems: linear algebra, the simulated
+device, the simulated communicator, and the LP/MIP solvers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+
+
+class LinearAlgebraError(ReproError):
+    """Base class for linear-algebra failures."""
+
+
+class SingularMatrixError(LinearAlgebraError):
+    """A factorization encountered an (numerically) singular matrix."""
+
+    def __init__(self, stage: str, pivot: float = 0.0):
+        self.stage = stage
+        self.pivot = pivot
+        super().__init__(f"singular matrix during {stage} (pivot={pivot:.3e})")
+
+
+class NotPositiveDefiniteError(LinearAlgebraError):
+    """Cholesky factorization of a matrix that is not positive definite."""
+
+
+class ShapeError(LinearAlgebraError):
+    """Operands have incompatible shapes."""
+
+
+class SparseFormatError(LinearAlgebraError):
+    """A sparse matrix is structurally invalid (bad indptr/indices)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated device
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-accelerator failures."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Allocation exceeded the simulated device memory capacity."""
+
+    def __init__(self, requested: int, free: int, capacity: int):
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity
+        super().__init__(
+            f"device out of memory: requested {requested} B, "
+            f"free {free} B of {capacity} B"
+        )
+
+
+class InvalidHandleError(DeviceError):
+    """A device-array handle was used after free, or on the wrong device."""
+
+
+class StreamError(DeviceError):
+    """Illegal stream/event operation (e.g. waiting on an unrecorded event)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated communicator
+# ---------------------------------------------------------------------------
+
+
+class CommError(ReproError):
+    """Base class for simulated-MPI failures."""
+
+
+class DeadlockError(CommError):
+    """All ranks are blocked and no message can make progress."""
+
+
+class RankError(CommError):
+    """A rank index is out of range for the communicator."""
+
+
+# ---------------------------------------------------------------------------
+# Solvers
+# ---------------------------------------------------------------------------
+
+
+class SolverError(ReproError):
+    """Base class for LP/MIP solver failures."""
+
+
+class LPError(SolverError):
+    """Linear-programming solver failure (not statuses: true failures)."""
+
+
+class IterationLimitError(SolverError):
+    """An iterative method exhausted its iteration budget."""
+
+    def __init__(self, method: str, limit: int):
+        self.method = method
+        self.limit = limit
+        super().__init__(f"{method} exceeded iteration limit {limit}")
+
+
+class MIPError(SolverError):
+    """Mixed-integer solver failure."""
+
+
+class ProblemFormatError(SolverError):
+    """A problem definition (or MPS file) is malformed."""

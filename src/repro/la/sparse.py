@@ -1,0 +1,457 @@
+"""Compressed sparse row/column matrices, implemented from scratch.
+
+The paper (§4.2, §5.4) requires a sparse code path distinct from the
+dense one: CSR for row-oriented operations (SpMV, appending cut rows) and
+CSC for the column-oriented access pattern of simplex pricing and sparse
+LU.  scipy.sparse is deliberately not used — the storage layout and the
+operation mix are part of what the simulated device prices.
+
+Construction is via COO triplets or dense arrays; all structural
+invariants (sorted indices within a row/column, monotone indptr, in-range
+indices) are validated and enforced, and violations raise
+:class:`SparseFormatError`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES
+from repro.errors import ShapeError, SparseFormatError
+
+
+def _validate_compressed(
+    indptr: np.ndarray, indices: np.ndarray, data: np.ndarray, major: int, minor: int
+) -> None:
+    if indptr.ndim != 1 or indptr.shape[0] != major + 1:
+        raise SparseFormatError(
+            f"indptr length {indptr.shape[0]} != major dim + 1 = {major + 1}"
+        )
+    if indptr[0] != 0 or indptr[-1] != data.shape[0]:
+        raise SparseFormatError("indptr must start at 0 and end at nnz")
+    if np.any(np.diff(indptr) < 0):
+        raise SparseFormatError("indptr must be non-decreasing")
+    if indices.shape != data.shape:
+        raise SparseFormatError("indices and data must have equal length")
+    if data.shape[0] and (indices.min() < 0 or indices.max() >= minor):
+        raise SparseFormatError("index out of range")
+
+
+def _sort_within_segments(
+    indptr: np.ndarray, indices: np.ndarray, data: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort (indices, data) within each indptr segment; returns new arrays."""
+    indices = indices.copy()
+    data = data.copy()
+    for i in range(indptr.shape[0] - 1):
+        lo, hi = indptr[i], indptr[i + 1]
+        if hi - lo > 1:
+            order = np.argsort(indices[lo:hi], kind="stable")
+            indices[lo:hi] = indices[lo:hi][order]
+            data[lo:hi] = data[lo:hi][order]
+    return indices, data
+
+
+class CSRMatrix:
+    """Compressed sparse row matrix over float64.
+
+    Immutable in structure once built; the cut-incorporation path
+    (paper §5.2) produces *new* matrices via :meth:`vstack_rows`, which is
+    how an append-only device-resident layout behaves.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        check: bool = True,
+        sort: bool = True,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if check:
+            _validate_compressed(
+                self.indptr, self.indices, self.data, self.shape[0], self.shape[1]
+            )
+        if sort:
+            self.indices, self.data = _sort_within_segments(
+                self.indptr, self.indices, self.data
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, drop_tol: float = DEFAULT_TOLERANCES.drop
+    ) -> "CSRMatrix":
+        """Compress a dense matrix, dropping entries below ``drop_tol``."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ShapeError(f"from_dense requires a 2-D array, got {dense.shape}")
+        mask = np.abs(dense) > drop_tol
+        counts = mask.sum(axis=1)
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        rows, cols = np.nonzero(mask)
+        return cls(
+            dense.shape, indptr, cols, dense[rows, cols], check=False, sort=False
+        )
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        """All-zero matrix of the given shape."""
+        return cls(
+            shape,
+            np.zeros(shape[0] + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+            check=False,
+            sort=False,
+        )
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.data.shape[0])
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries stored (0 for an empty-shape matrix)."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def row_nnz(self) -> np.ndarray:
+        """Stored entries per row."""
+        return np.diff(self.indptr)
+
+    # -- conversions --------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense float64 array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        for i in range(self.shape[0]):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            out[i, self.indices[lo:hi]] = self.data[lo:hi]
+        return out
+
+    def tocsc(self) -> "CSCMatrix":
+        """Convert to CSC via a counting transpose."""
+        m, n = self.shape
+        col_counts = np.bincount(self.indices, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(col_counts, out=indptr[1:])
+        indices = np.empty(self.nnz, dtype=np.int64)
+        data = np.empty(self.nnz, dtype=np.float64)
+        fill = indptr[:-1].copy()
+        for i in range(m):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            for k in range(lo, hi):
+                j = self.indices[k]
+                p = fill[j]
+                indices[p] = i
+                data[p] = self.data[k]
+                fill[j] = p + 1
+        return CSCMatrix((m, n), indptr, indices, data, check=False, sort=False)
+
+    def transpose(self) -> "CSRMatrix":
+        """Transposed matrix, still in CSR layout."""
+        csc = self.tocsc()
+        return CSRMatrix(
+            (self.shape[1], self.shape[0]),
+            csc.indptr,
+            csc.indices,
+            csc.data,
+            check=False,
+            sort=False,
+        )
+
+    # -- operations ---------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product ``A @ x``.
+
+        Implemented as a segment-reduce over the flat data array — the
+        same gather/reduce shape a CSR SpMV kernel has on a GPU.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.shape[1]:
+            raise ShapeError(f"matvec: x length {x.shape[0]} != {self.shape[1]}")
+        if self.nnz == 0:
+            return np.zeros(self.shape[0])
+        products = self.data * x[self.indices]
+        out = np.add.reduceat(
+            np.concatenate([products, [0.0]]),
+            np.minimum(self.indptr[:-1], self.nnz),
+        )
+        # reduceat yields garbage for empty rows; mask them to zero.
+        empty = self.indptr[:-1] == self.indptr[1:]
+        out[empty] = 0.0
+        return out
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Transposed product ``Aᵀ @ y`` via scatter-add."""
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape[0] != self.shape[0]:
+            raise ShapeError(f"rmatvec: y length {y.shape[0]} != {self.shape[0]}")
+        out = np.zeros(self.shape[1])
+        row_ids = np.repeat(
+            np.arange(self.shape[0]), np.diff(self.indptr)
+        )
+        np.add.at(out, self.indices, self.data * y[row_ids])
+        return out
+
+    def get_row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of row ``i`` as views."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def vstack_rows(
+        self, rows: Iterable[Tuple[np.ndarray, np.ndarray]]
+    ) -> "CSRMatrix":
+        """Append sparse rows (cut rows, paper §5.2) below this matrix.
+
+        ``rows`` yields ``(col_indices, values)`` pairs.  Returns a new
+        matrix; this one is unchanged.
+        """
+        new_indices = [self.indices]
+        new_data = [self.data]
+        ptr = [self.indptr]
+        extra_counts = []
+        for cols, vals in rows:
+            cols = np.asarray(cols, dtype=np.int64)
+            vals = np.asarray(vals, dtype=np.float64)
+            if cols.shape != vals.shape:
+                raise SparseFormatError("row indices/values length mismatch")
+            if cols.size and (cols.min() < 0 or cols.max() >= self.shape[1]):
+                raise SparseFormatError("row column index out of range")
+            new_indices.append(cols)
+            new_data.append(vals)
+            extra_counts.append(cols.shape[0])
+        if not extra_counts:
+            return self
+        tail = self.indptr[-1] + np.cumsum(extra_counts, dtype=np.int64)
+        indptr = np.concatenate([self.indptr, tail])
+        return CSRMatrix(
+            (self.shape[0] + len(extra_counts), self.shape[1]),
+            indptr,
+            np.concatenate(new_indices),
+            np.concatenate(new_data),
+            check=False,
+            sort=True,
+        )
+
+    def scale(self, alpha: float) -> "CSRMatrix":
+        """New matrix with every stored entry multiplied by ``alpha``."""
+        return CSRMatrix(
+            self.shape, self.indptr, self.indices, self.data * float(alpha),
+            check=False, sort=False,
+        )
+
+    def add(self, other: "CSRMatrix") -> "CSRMatrix":
+        """Sparse matrix addition (union of patterns, duplicates summed)."""
+        if self.shape != other.shape:
+            raise ShapeError(f"add: shapes {self.shape} vs {other.shape}")
+        m = self.shape[0]
+        rows_self = np.repeat(np.arange(m), np.diff(self.indptr))
+        rows_other = np.repeat(np.arange(m), np.diff(other.indptr))
+        return coo_to_csr(
+            self.shape,
+            np.concatenate([rows_self, rows_other]),
+            np.concatenate([self.indices, other.indices]),
+            np.concatenate([self.data, other.data]),
+        )
+
+    def matmat(self, other: "CSRMatrix") -> "CSRMatrix":
+        """Sparse-sparse product ``A @ B`` (row-by-row merge, CSR out)."""
+        if self.shape[1] != other.shape[0]:
+            raise ShapeError(
+                f"matmat: inner dims {self.shape[1]} vs {other.shape[0]}"
+            )
+        m, n = self.shape[0], other.shape[1]
+        out_rows, out_cols, out_vals = [], [], []
+        for i in range(m):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            acc: dict = {}
+            for k in range(lo, hi):
+                col = int(self.indices[k])
+                val = self.data[k]
+                blo, bhi = other.indptr[col], other.indptr[col + 1]
+                for p in range(blo, bhi):
+                    j = int(other.indices[p])
+                    acc[j] = acc.get(j, 0.0) + val * other.data[p]
+            for j, v in acc.items():
+                if abs(v) > DEFAULT_TOLERANCES.drop:
+                    out_rows.append(i)
+                    out_cols.append(j)
+                    out_vals.append(v)
+        return coo_to_csr(
+            (m, n),
+            np.asarray(out_rows, dtype=np.int64),
+            np.asarray(out_cols, dtype=np.int64),
+            np.asarray(out_vals, dtype=np.float64),
+        )
+
+    def select_columns(self, cols: np.ndarray) -> np.ndarray:
+        """Dense submatrix of the selected columns (basis extraction)."""
+        cols = np.asarray(cols, dtype=np.int64)
+        out = np.zeros((self.shape[0], cols.shape[0]))
+        pos_of = {int(c): k for k, c in enumerate(cols)}
+        for i in range(self.shape[0]):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            for k in range(lo, hi):
+                j = int(self.indices[k])
+                if j in pos_of:
+                    out[i, pos_of[j]] = self.data[k]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.4f})"
+        )
+
+
+class CSCMatrix:
+    """Compressed sparse column matrix over float64.
+
+    Column access is O(column nnz), the pattern simplex pricing and the
+    left-looking sparse LU (:mod:`repro.la.sparse_lu`) rely on.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        check: bool = True,
+        sort: bool = True,
+    ):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if check:
+            _validate_compressed(
+                self.indptr, self.indices, self.data, self.shape[1], self.shape[0]
+            )
+        if sort:
+            self.indices, self.data = _sort_within_segments(
+                self.indptr, self.indices, self.data
+            )
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, drop_tol: float = DEFAULT_TOLERANCES.drop
+    ) -> "CSCMatrix":
+        """Compress a dense matrix column-wise."""
+        return CSRMatrix.from_dense(dense, drop_tol).tocsc()
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.data.shape[0])
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries stored."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def get_col(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(row indices, values) of column ``j`` as views."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def col_dense(self, j: int) -> np.ndarray:
+        """Column ``j`` expanded to a dense vector."""
+        out = np.zeros(self.shape[0])
+        rows, vals = self.get_col(j)
+        out[rows] = vals
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense float64 array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        for j in range(self.shape[1]):
+            lo, hi = self.indptr[j], self.indptr[j + 1]
+            out[self.indices[lo:hi], j] = self.data[lo:hi]
+        return out
+
+    def tocsr(self) -> CSRMatrix:
+        """Convert to CSR via a counting transpose."""
+        m, n = self.shape
+        transposed = CSRMatrix(
+            (n, m), self.indptr, self.indices, self.data, check=False, sort=False
+        ).tocsc()
+        return CSRMatrix(
+            (m, n),
+            transposed.indptr,
+            transposed.indices,
+            transposed.data,
+            check=False,
+            sort=False,
+        )
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` via column-wise scatter-add."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.shape[1]:
+            raise ShapeError(f"matvec: x length {x.shape[0]} != {self.shape[1]}")
+        out = np.zeros(self.shape[0])
+        col_ids = np.repeat(np.arange(self.shape[1]), np.diff(self.indptr))
+        np.add.at(out, self.indices, self.data * x[col_ids])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSCMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.4f})"
+        )
+
+
+def coo_to_csr(
+    shape: Tuple[int, int],
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    *,
+    sum_duplicates: bool = True,
+) -> CSRMatrix:
+    """Build a CSR matrix from COO triplets, summing duplicates by default."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    if not (rows.shape == cols.shape == vals.shape):
+        raise SparseFormatError("COO triplet arrays must have equal length")
+    if rows.size and (
+        rows.min() < 0 or rows.max() >= shape[0] or cols.min() < 0 or cols.max() >= shape[1]
+    ):
+        raise SparseFormatError("COO index out of range")
+    order = np.lexsort((cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    if sum_duplicates and rows.size:
+        keys = rows * shape[1] + cols
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        summed = np.zeros(uniq.shape[0])
+        np.add.at(summed, inverse, vals)
+        rows = uniq // shape[1]
+        cols = uniq % shape[1]
+        vals = summed
+    indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=shape[0]), out=indptr[1:])
+    return CSRMatrix(shape, indptr, cols, vals, check=False, sort=False)

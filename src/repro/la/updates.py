@@ -1,0 +1,163 @@
+"""Rank-1 basis updates: product form of inverse and Sherman–Morrison.
+
+Paper §4.3/§5.1: the defining linear-algebra pattern of a simplex-based
+MIP solver is *not* one factorization per solve but a long chain of rank-1
+updates to a resident basis matrix — variables entering and leaving the
+basis — with periodic refactorization.  The product form of inverse (PFI)
+represents ``B⁻¹`` as a chain of elementary "eta" matrices applied to an
+initial LU factorization; each simplex iteration appends one eta and
+performs *zero* host↔device transfers when the factors live on the device
+(the paper's §5.1 claim, measured in experiment E4).
+
+The modified product form of inverse the paper cites ([28], extended in
+[31]) is exactly this eta-chain scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES
+from repro.errors import ShapeError, SingularMatrixError
+from repro.la.dense import LUFactors, lu_factor, lu_solve
+
+
+@dataclass(frozen=True)
+class EtaFile:
+    """One elementary (eta) matrix: identity except column ``pos``.
+
+    Applying it costs O(n) — an axpy plus a scale — which is why a chain
+    of etas is so much cheaper than refactorization per iteration.
+    """
+
+    pos: int
+    column: np.ndarray  # full n-vector; column[pos] is the diagonal entry
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Return ``E x`` (in a new array)."""
+        out = np.array(x, dtype=np.float64, copy=True)
+        xr = out[self.pos]
+        if xr != 0.0:
+            out += self.column * xr
+            out[self.pos] = self.column[self.pos] * xr
+        else:
+            out[self.pos] = 0.0
+        return out
+
+    def apply_transpose(self, y: np.ndarray) -> np.ndarray:
+        """Return ``Eᵀ y`` (in a new array)."""
+        out = np.array(y, dtype=np.float64, copy=True)
+        # (Eᵀ y)_pos = eta · y, all other entries unchanged.
+        out[self.pos] = float(self.column @ y)
+        return out
+
+
+def make_eta(w: np.ndarray, pos: int, pivot_tol: float = DEFAULT_TOLERANCES.pivot) -> EtaFile:
+    """Build the eta matrix for replacing basis position ``pos``.
+
+    ``w = B⁻¹ a_q`` is the ftran of the entering column; the update is
+    singular when ``w[pos]`` vanishes (the entering column is dependent).
+    """
+    wr = float(w[pos])
+    if abs(wr) <= pivot_tol:
+        raise SingularMatrixError("eta update", wr)
+    column = -np.asarray(w, dtype=np.float64) / wr
+    column[pos] = 1.0 / wr
+    return EtaFile(pos=pos, column=column)
+
+
+class ProductFormInverse:
+    """``B⁻¹`` as eta-chain ∘ LU(B₀), with refactorization support.
+
+    This is the basis-management object the revised simplex keeps resident
+    on the (simulated) device.  ``ftran`` solves ``B x = b``; ``btran``
+    solves ``Bᵀ y = c``; ``update`` appends one eta per basis change.
+
+    The eta representation differs from the true matrix E in
+    :class:`EtaFile` only in bookkeeping: we store the *combined* column
+    (off-pivot entries are the axpy coefficients, the pivot entry is the
+    scale), so apply is two vector ops.
+    """
+
+    def __init__(self, basis_matrix: np.ndarray):
+        n = basis_matrix.shape[0]
+        if basis_matrix.ndim != 2 or basis_matrix.shape[1] != n:
+            raise ShapeError(
+                f"basis matrix must be square, got {basis_matrix.shape}"
+            )
+        self._n = n
+        self._factors: LUFactors = lu_factor(basis_matrix)
+        self._etas: List[EtaFile] = []
+
+    @property
+    def n(self) -> int:
+        """Basis dimension."""
+        return self._n
+
+    @property
+    def num_etas(self) -> int:
+        """Number of rank-1 updates since the last refactorization."""
+        return len(self._etas)
+
+    def ftran(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``B x = b``: LU solve then apply etas oldest-first."""
+        x = lu_solve(self._factors, b)
+        for eta in self._etas:
+            xr = x[eta.pos]
+            if xr != 0.0:
+                x = x + eta.column * xr
+                x[eta.pos] = eta.column[eta.pos] * xr
+            else:
+                x[eta.pos] = 0.0
+        return x
+
+    def btran(self, c: np.ndarray) -> np.ndarray:
+        """Solve ``Bᵀ y = c``: apply eta transposes newest-first, then LUᵀ."""
+        y = np.array(c, dtype=np.float64, copy=True)
+        for eta in reversed(self._etas):
+            y[eta.pos] = float(eta.column @ y)
+        return lu_solve(self._factors, y, transposed=True)
+
+    def update(self, entering_column_ftran: np.ndarray, pos: int) -> None:
+        """Record that basis position ``pos`` was replaced.
+
+        ``entering_column_ftran`` must be ``self.ftran(a_q)`` for the
+        entering column ``a_q`` (the simplex already computes it).
+        """
+        if entering_column_ftran.shape[0] != self._n:
+            raise ShapeError(
+                f"ftran column length {entering_column_ftran.shape[0]} != {self._n}"
+            )
+        self._etas.append(make_eta(entering_column_ftran, pos))
+
+    def refactorize(self, basis_matrix: np.ndarray) -> None:
+        """Drop the eta chain and refactorize the current basis matrix."""
+        if basis_matrix.shape != (self._n, self._n):
+            raise ShapeError(
+                f"basis matrix shape {basis_matrix.shape} != ({self._n}, {self._n})"
+            )
+        self._factors = lu_factor(basis_matrix)
+        self._etas = []
+
+
+def sherman_morrison_update(
+    a_inv: np.ndarray, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Sherman–Morrison: inverse of ``A + u vᵀ`` from ``A⁻¹``.
+
+    Used as the dense explicit-inverse alternative to eta files in the E4
+    ablation.  Raises :class:`SingularMatrixError` when the update makes
+    the matrix singular (``1 + vᵀ A⁻¹ u ≈ 0``).
+    """
+    a_inv = np.asarray(a_inv, dtype=np.float64)
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    au = a_inv @ u
+    denom = 1.0 + float(v @ au)
+    if abs(denom) <= DEFAULT_TOLERANCES.pivot:
+        raise SingularMatrixError("sherman-morrison", denom)
+    va = v @ a_inv
+    return a_inv - np.outer(au, va) / denom

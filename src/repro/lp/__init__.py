@@ -1,0 +1,47 @@
+"""Linear programming: the computational core of branch-and-cut.
+
+The paper's entire §4/§5 discussion is about how the LP relaxation
+solver's linear algebra maps onto GPUs, so this package implements the
+solvers from scratch on :mod:`repro.la`:
+
+- :mod:`repro.lp.problem` — `LinearProgram` and its standard form.
+- :mod:`repro.lp.presolve` — cheap reductions before solving.
+- :mod:`repro.lp.scaling` — geometric-mean equilibration.
+- :mod:`repro.lp.pricing` — Dantzig / Devex / steepest-edge rules.
+- :mod:`repro.lp.simplex` — two-phase revised primal simplex with
+  product-form-of-inverse basis management (§5.1's rank-1 update loop).
+- :mod:`repro.lp.dual_simplex` — warm-started re-optimization after
+  bound changes and cut rows (§5.2/§5.3's reuse modes).
+- :mod:`repro.lp.interior_point` — Mehrotra predictor–corrector (the
+  §2.3 interior-point alternative).
+- :mod:`repro.lp.batch_simplex` — lockstep batched simplex advancing
+  many small LPs SIMD-style (§5.5).
+
+`scipy.optimize.linprog` is used only in tests, as an oracle.
+"""
+
+from repro.lp.problem import LinearProgram, StandardFormLP
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.simplex import SimplexOptions, solve_lp, solve_standard_form
+from repro.lp.dual_simplex import dual_simplex_resolve
+from repro.lp.interior_point import interior_point_solve
+from repro.lp.batch_simplex import BatchLPResult, solve_lp_batch
+from repro.lp.presolve import PresolveResult, presolve
+from repro.lp.scaling import equilibrate
+
+__all__ = [
+    "LinearProgram",
+    "StandardFormLP",
+    "LPResult",
+    "LPStatus",
+    "SimplexOptions",
+    "solve_lp",
+    "solve_standard_form",
+    "dual_simplex_resolve",
+    "interior_point_solve",
+    "solve_lp_batch",
+    "BatchLPResult",
+    "presolve",
+    "PresolveResult",
+    "equilibrate",
+]

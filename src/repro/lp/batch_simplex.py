@@ -1,0 +1,179 @@
+"""Lockstep batched simplex: many small LPs advancing SIMD-style.
+
+Paper §5.5: with device memory far exceeding one small LP's matrix,
+"dozens of branch-and-cut nodes could be solved simultaneously by the
+GPU" — given linear-algebra services that support batched operation.
+Gurung & Ray [14] demonstrated exactly this: a *tableau* simplex whose
+every step is applied to a whole batch of LPs in lockstep, which is the
+natural SIMD shape.
+
+``solve_lp_batch`` takes k same-shape inequality-form LPs
+(``max cᵀx, A x ≤ b, 0 ≤ x ≤ ub`` with ``b ≥ 0``, so the slack basis is
+primal feasible — true of every LP-relaxation batch the MIP solver
+produces from sibling nodes), stacks their tableaus into a
+``(k, m+1, n+1)`` array, and performs elimination steps vectorized
+across the batch.  Members reach optimality at different iterations and
+are frozen by masking; the loop runs until all are terminal.
+
+The optional ``on_iteration(k, m, n)`` hook lets a device model charge
+one batched kernel per lockstep step (experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES
+from repro.errors import LPError, ShapeError
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPStatus
+
+
+@dataclass
+class BatchLPResult:
+    """Per-member outcomes of a batched solve."""
+
+    statuses: List[LPStatus]
+    objectives: np.ndarray
+    #: (k, n) primal solutions in the original variable space.
+    x: np.ndarray
+    #: Lockstep iterations executed (shared across the batch).
+    iterations: int
+
+    @property
+    def all_ok(self) -> bool:
+        """True when every member proved optimality."""
+        return all(s is LPStatus.OPTIMAL for s in self.statuses)
+
+
+def _standardize_batch(lps: List[LinearProgram]):
+    """Stack inequality-form LPs into batched standard-form arrays."""
+    if not lps:
+        raise LPError("empty LP batch")
+    n = lps[0].n
+    m_ub = lps[0].num_ub_rows
+    for lp in lps:
+        if lp.n != n or lp.num_ub_rows != m_ub:
+            raise ShapeError("all batch members must share (m, n)")
+        if lp.num_eq_rows:
+            raise LPError("batched simplex supports inequality-form LPs only")
+        if np.any(lp.lb != 0.0):
+            raise LPError("batched simplex requires lb == 0")
+        if np.any(lp.b_ub < 0):
+            raise LPError("batched simplex requires b ≥ 0 (feasible slack basis)")
+
+    # Finite upper bounds become extra rows (uniform count across batch
+    # is required; infinite bounds contribute no row).
+    finite_ub = np.isfinite(lps[0].ub)
+    for lp in lps:
+        if not np.array_equal(np.isfinite(lp.ub), finite_ub):
+            raise ShapeError("batch members must share the finite-ub pattern")
+    ub_rows = int(finite_ub.sum())
+
+    k = len(lps)
+    m = m_ub + ub_rows
+    total_cols = n + m  # structural + slacks
+    a = np.zeros((k, m, total_cols))
+    b = np.zeros((k, m))
+    c = np.zeros((k, total_cols))
+    ub_idx = np.nonzero(finite_ub)[0]
+    for t, lp in enumerate(lps):
+        if m_ub:
+            a[t, :m_ub, :n] = lp.a_ub
+            b[t, :m_ub] = lp.b_ub
+        for r, j in enumerate(ub_idx):
+            a[t, m_ub + r, j] = 1.0
+            b[t, m_ub + r] = lp.ub[j]
+        a[t, :, n:] = np.eye(m)
+        c[t, :n] = lp.c
+    return a, b, c, n, m
+
+
+def solve_lp_batch(
+    lps: List[LinearProgram],
+    max_iterations: Optional[int] = None,
+    on_iteration: Optional[Callable[[int, int, int], None]] = None,
+) -> BatchLPResult:
+    """Solve a batch of same-shape LPs by lockstep tableau simplex."""
+    a, b, c, n, m = _standardize_batch(lps)
+    k = a.shape[0]
+    total_cols = a.shape[2]
+    tol = DEFAULT_TOLERANCES
+
+    if max_iterations is None:
+        max_iterations = 50 + 20 * (m + n)
+
+    # Tableau: rows 0..m-1 are constraints [A | b]; row m is the cost row
+    # [-reduced costs | objective].  Slack basis start.
+    tab = np.zeros((k, m + 1, total_cols + 1))
+    tab[:, :m, :total_cols] = a
+    tab[:, :m, total_cols] = b
+    tab[:, m, :total_cols] = -c  # maximize: optimal when no negative entry
+    basis = np.tile(np.arange(n, n + m), (k, 1))
+
+    active = np.ones(k, dtype=bool)
+    unbounded = np.zeros(k, dtype=bool)
+    batch_ids = np.arange(k)
+    iterations = 0
+
+    while active.any() and iterations < max_iterations:
+        if on_iteration is not None:
+            on_iteration(int(active.sum()), m, total_cols)
+        cost_rows = tab[:, m, :total_cols]
+        entering = np.argmin(cost_rows, axis=1)
+        improvable = cost_rows[batch_ids, entering] < -tol.optimality
+        active &= improvable
+        if not active.any():
+            break
+
+        # Lockstep ratio test on the active members.
+        cols = tab[batch_ids, :m, entering]            # (k, m) pivot columns
+        rhs = tab[:, :m, total_cols]                   # (k, m)
+        positive = cols > tol.pivot
+        ratios = np.where(positive, rhs / np.where(positive, cols, 1.0), np.inf)
+        leave = np.argmin(ratios, axis=1)
+        no_pivot = ~positive.any(axis=1)
+        newly_unbounded = active & no_pivot
+        unbounded |= newly_unbounded
+        active &= ~no_pivot
+        if not active.any():
+            break
+
+        act = np.nonzero(active)[0]
+        piv_val = tab[act, leave[act], entering[act]]
+        # Normalize pivot rows (active members only).
+        tab[act, leave[act], :] /= piv_val[:, None]
+        # Eliminate the pivot column from every other row, batched.
+        pivot_rows = tab[act, leave[act], :]           # (k_act, cols+1)
+        col_vals = np.take_along_axis(
+            tab[act], entering[act][:, None, None], axis=2
+        )[:, :, 0]                                     # (k_act, m+1)
+        col_vals[np.arange(act.size), leave[act]] = 0.0
+        tab[act] -= col_vals[:, :, None] * pivot_rows[:, None, :]
+        basis[act, leave[act]] = entering[act]
+        iterations += 1
+
+    statuses: List[LPStatus] = []
+    for t in range(k):
+        if unbounded[t]:
+            statuses.append(LPStatus.UNBOUNDED)
+        elif active[t]:
+            statuses.append(LPStatus.ITERATION_LIMIT)
+        else:
+            statuses.append(LPStatus.OPTIMAL)
+
+    x = np.zeros((k, n))
+    objectives = np.full(k, np.nan)
+    for t in range(k):
+        if statuses[t] is not LPStatus.OPTIMAL:
+            continue
+        full = np.zeros(total_cols)
+        full[basis[t]] = tab[t, :m, total_cols]
+        x[t] = full[:n]
+        objectives[t] = float(c[t, :n] @ x[t])
+    return BatchLPResult(
+        statuses=statuses, objectives=objectives, x=x, iterations=iterations
+    )

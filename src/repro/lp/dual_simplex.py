@@ -1,0 +1,149 @@
+"""Dual simplex re-optimization from a warm basis.
+
+This is the §5.2/§5.3 reuse engine: after a branch tightens a bound or a
+cut row is appended, the parent node's optimal basis remains *dual*
+feasible (reduced costs unchanged; the new slack prices at zero) while
+primal feasibility breaks only in the new/changed rows.  The dual
+simplex repairs primal feasibility in a handful of pivots instead of
+re-solving from scratch — with the matrix staying resident on the device
+the whole time.
+
+``dual_simplex_resolve`` raises :class:`repro.errors.LPError` when the
+supplied basis is unusable (singular, references internal artificial
+columns, or is not dual feasible); callers fall back to a cold
+:func:`repro.lp.simplex.solve_standard_form`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LPError, SingularMatrixError
+from repro.la.updates import ProductFormInverse
+from repro.lp.problem import StandardFormLP
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.simplex import NULL_HOOK, CostHook, SimplexOptions
+
+
+def dual_simplex_resolve(
+    sf: StandardFormLP,
+    basis: np.ndarray,
+    options: Optional[SimplexOptions] = None,
+    hook: CostHook = NULL_HOOK,
+) -> LPResult:
+    """Re-optimize ``max cᵀx, Ax=b, x≥0`` starting from ``basis``.
+
+    ``basis`` must name m valid columns forming a dual-feasible basis
+    (the typical source: the parent LP's optimal basis extended with the
+    slacks of any newly appended rows).
+    """
+    options = options or SimplexOptions()
+    tol = options.config.tolerances
+    m, n = sf.a.shape
+    basis = np.asarray(basis, dtype=np.int64).copy()
+
+    if basis.shape[0] != m:
+        raise LPError(f"basis has {basis.shape[0]} entries for {m} rows")
+    if np.any(basis < 0) or np.any(basis >= n):
+        raise LPError("basis references columns outside the problem")
+    if len(set(basis.tolist())) != m:
+        raise LPError("basis has repeated columns")
+
+    try:
+        pfi = ProductFormInverse(sf.a[:, basis])
+    except SingularMatrixError as exc:
+        raise LPError(f"warm basis is singular: {exc}") from exc
+    hook.on_factorize(m)
+
+    def ftran(v: np.ndarray) -> np.ndarray:
+        hook.on_ftran(m, pfi.num_etas)
+        return pfi.ftran(v)
+
+    def btran(v: np.ndarray) -> np.ndarray:
+        hook.on_btran(m, pfi.num_etas)
+        return pfi.btran(v)
+
+    y = btran(sf.c[basis])
+    hook.on_pricing(m, n)
+    reduced = sf.c - sf.a.T @ y
+    nonbasic = np.ones(n, dtype=bool)
+    nonbasic[basis] = False
+    if np.any(reduced[nonbasic] > 1e-6):
+        raise LPError("warm basis is not dual feasible")
+
+    x_basic = ftran(sf.b)
+    max_iter = options.max_iterations
+    if max_iter is None:
+        max_iter = options.config.solver.simplex_iter_limit(m, n)
+
+    iterations = 0
+    updates = 0
+    while iterations < max_iter:
+        leave_pos = int(np.argmin(x_basic))
+        if x_basic[leave_pos] >= -tol.feasibility:
+            # Primal feasible and dual feasible: optimal.
+            x_std = np.zeros(n)
+            x_std[basis] = np.maximum(x_basic, 0.0)
+            y = btran(sf.c[basis])
+            return LPResult(
+                status=LPStatus.OPTIMAL,
+                objective=float(sf.c @ x_std) + sf.offset,
+                x_standard=x_std,
+                duals=y,
+                iterations=iterations,
+                basis=basis.copy(),
+            )
+
+        e_r = np.zeros(m)
+        e_r[leave_pos] = 1.0
+        rho = btran(e_r)
+        hook.on_pricing(m, n)
+        alpha = sf.a.T @ rho
+        # Keep reduced costs consistent with the current basis.
+        y = btran(sf.c[basis])
+        reduced = sf.c - sf.a.T @ y
+        reduced[basis] = 0.0
+
+        candidates = nonbasic & (alpha < -tol.pivot)
+        if not candidates.any():
+            return LPResult(status=LPStatus.INFEASIBLE, iterations=iterations)
+        ratios = np.where(candidates, reduced / np.where(candidates, alpha, 1.0), np.inf)
+        # Dual ratio test: smallest |d_j / alpha_j| keeps dual feasibility.
+        entering = int(np.argmin(ratios))
+        if not np.isfinite(ratios[entering]):
+            return LPResult(status=LPStatus.INFEASIBLE, iterations=iterations)
+
+        w = ftran(sf.a[:, entering])
+        if abs(w[leave_pos]) <= tol.pivot:
+            # Numerically unusable pivot; refactorize and retry once.
+            pfi.refactorize(sf.a[:, basis])
+            hook.on_factorize(m)
+            x_basic = ftran(sf.b)
+            w = ftran(sf.a[:, entering])
+            if abs(w[leave_pos]) <= tol.pivot:
+                raise LPError("dual simplex stalled on a zero pivot")
+
+        theta_p = x_basic[leave_pos] / w[leave_pos]
+        x_basic = x_basic - theta_p * w
+        x_basic[leave_pos] = theta_p
+        nonbasic[entering] = False
+        nonbasic[basis[leave_pos]] = True
+        basis[leave_pos] = entering
+        try:
+            pfi.update(w, leave_pos)
+            hook.on_update(m)
+        except SingularMatrixError:
+            pfi.refactorize(sf.a[:, basis])
+            hook.on_factorize(m)
+            x_basic = ftran(sf.b)
+        updates += 1
+        iterations += 1
+        if updates >= options.refactor_interval:
+            pfi.refactorize(sf.a[:, basis])
+            hook.on_factorize(m)
+            x_basic = ftran(sf.b)
+            updates = 0
+
+    return LPResult(status=LPStatus.ITERATION_LIMIT, iterations=iterations)

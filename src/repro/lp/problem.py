@@ -1,0 +1,314 @@
+"""Linear program representation and standard-form conversion.
+
+:class:`LinearProgram` is the user-facing form (paper Eq. 1):
+
+    maximize  cᵀx
+    s.t.      A_ub x ≤ b_ub
+              A_eq x = b_eq
+              lb ≤ x ≤ ub
+
+:class:`StandardFormLP` is the solver-facing equality form the paper
+describes ("the inequality Ax ≤ b can be replaced with equality with the
+introduction of slack variables y ≥ 0"):
+
+    maximize  ĉᵀx̂ + offset
+    s.t.      Â x̂ = b̂,  x̂ ≥ 0
+
+Conversion: finite lower bounds are shifted out, free variables are
+split into positive/negative parts, finite upper bounds become rows,
+and every inequality row gains a slack column.  The mapping back to
+original variables is retained for postsolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+
+
+@dataclass
+class LinearProgram:
+    """A maximization LP over dense data.
+
+    Any of the constraint blocks may be ``None``; bounds default to
+    ``x ≥ 0`` (lb=0, ub=+inf) when omitted.
+    """
+
+    c: np.ndarray
+    a_ub: Optional[np.ndarray] = None
+    b_ub: Optional[np.ndarray] = None
+    a_eq: Optional[np.ndarray] = None
+    b_eq: Optional[np.ndarray] = None
+    lb: Optional[np.ndarray] = None
+    ub: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        self.c = np.asarray(self.c, dtype=np.float64)
+        n = self.n
+        if self.a_ub is not None:
+            self.a_ub = np.atleast_2d(np.asarray(self.a_ub, dtype=np.float64))
+            self.b_ub = np.atleast_1d(np.asarray(self.b_ub, dtype=np.float64))
+            if self.a_ub.shape[1] != n:
+                raise ProblemFormatError(
+                    f"a_ub has {self.a_ub.shape[1]} columns, expected {n}"
+                )
+            if self.a_ub.shape[0] != self.b_ub.shape[0]:
+                raise ProblemFormatError("a_ub/b_ub row mismatch")
+        elif self.b_ub is not None:
+            raise ProblemFormatError("b_ub given without a_ub")
+        if self.a_eq is not None:
+            self.a_eq = np.atleast_2d(np.asarray(self.a_eq, dtype=np.float64))
+            self.b_eq = np.atleast_1d(np.asarray(self.b_eq, dtype=np.float64))
+            if self.a_eq.shape[1] != n:
+                raise ProblemFormatError(
+                    f"a_eq has {self.a_eq.shape[1]} columns, expected {n}"
+                )
+            if self.a_eq.shape[0] != self.b_eq.shape[0]:
+                raise ProblemFormatError("a_eq/b_eq row mismatch")
+        elif self.b_eq is not None:
+            raise ProblemFormatError("b_eq given without a_eq")
+        self.lb = (
+            np.zeros(n) if self.lb is None else np.asarray(self.lb, dtype=np.float64)
+        )
+        self.ub = (
+            np.full(n, np.inf)
+            if self.ub is None
+            else np.asarray(self.ub, dtype=np.float64)
+        )
+        if self.lb.shape != (n,) or self.ub.shape != (n,):
+            raise ProblemFormatError("bound vectors must have length n")
+        if np.any(self.lb > self.ub + 1e-12):
+            raise ProblemFormatError("lb > ub for some variable")
+
+    @property
+    def n(self) -> int:
+        """Number of decision variables."""
+        return self.c.shape[0]
+
+    @property
+    def num_ub_rows(self) -> int:
+        """Number of inequality rows."""
+        return 0 if self.a_ub is None else self.a_ub.shape[0]
+
+    @property
+    def num_eq_rows(self) -> int:
+        """Number of equality rows."""
+        return 0 if self.a_eq is None else self.a_eq.shape[0]
+
+    def with_bounds(self, index: int, lb: float = None, ub: float = None) -> "LinearProgram":
+        """Copy with one variable's bounds tightened (branching helper)."""
+        new_lb = self.lb.copy()
+        new_ub = self.ub.copy()
+        if lb is not None:
+            new_lb[index] = max(new_lb[index], lb)
+        if ub is not None:
+            new_ub[index] = min(new_ub[index], ub)
+        return LinearProgram(
+            c=self.c.copy(),
+            a_ub=None if self.a_ub is None else self.a_ub.copy(),
+            b_ub=None if self.b_ub is None else self.b_ub.copy(),
+            a_eq=None if self.a_eq is None else self.a_eq.copy(),
+            b_eq=None if self.b_eq is None else self.b_eq.copy(),
+            lb=new_lb,
+            ub=new_ub,
+        )
+
+    def density(self) -> float:
+        """Nonzero fraction of the combined constraint matrix."""
+        blocks = [m for m in (self.a_ub, self.a_eq) if m is not None]
+        if not blocks:
+            return 0.0
+        total = sum(m.size for m in blocks)
+        nnz = sum(int(np.count_nonzero(m)) for m in blocks)
+        return nnz / total if total else 0.0
+
+    def to_standard_form(self) -> "StandardFormLP":
+        """Convert to equality standard form with x ≥ 0."""
+        return StandardFormLP.from_linear_program(self)
+
+
+@dataclass
+class StandardFormLP:
+    """Equality-form LP: maximize cᵀx + offset s.t. Ax = b, x ≥ 0."""
+
+    c: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+    offset: float = 0.0
+    #: Number of *structural* columns before slacks were appended.
+    num_structural: int = 0
+    #: For original variable i: column of its positive part.
+    pos_col: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    #: For original variable i: column of its negative part, or -1.
+    neg_col: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    #: Shift applied to each original variable (its finite lb, else 0).
+    shift: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def m(self) -> int:
+        """Number of rows."""
+        return self.a.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of columns (structural + slack)."""
+        return self.a.shape[1]
+
+    @classmethod
+    def from_linear_program(cls, lp: LinearProgram) -> "StandardFormLP":
+        """Build the equality standard form (see the module docstring)."""
+        n = lp.n
+        pos_col = np.zeros(n, dtype=np.int64)
+        neg_col = np.full(n, -1, dtype=np.int64)
+        shift = np.zeros(n)
+
+        # Build structural columns: shifted (and possibly split) originals.
+        col_of_next = 0
+        col_blocks = []  # per-original (sign, original index) for each column
+        for i in range(n):
+            lo, hi = lp.lb[i], lp.ub[i]
+            if np.isfinite(lo):
+                shift[i] = lo
+                pos_col[i] = col_of_next
+                col_blocks.append((1.0, i))
+                col_of_next += 1
+            else:
+                # Free below: split x_i = x⁺ - x⁻ (both ≥ 0).
+                pos_col[i] = col_of_next
+                col_blocks.append((1.0, i))
+                col_of_next += 1
+                neg_col[i] = col_of_next
+                col_blocks.append((-1.0, i))
+                col_of_next += 1
+        num_structural = col_of_next
+
+        def expand_matrix(mat: np.ndarray) -> np.ndarray:
+            out = np.zeros((mat.shape[0], num_structural))
+            for col, (sign, i) in enumerate(col_blocks):
+                out[:, col] = sign * mat[:, i]
+            return out
+
+        rows_a = []
+        rows_b = []
+        ineq_rows = 0
+
+        shift_full = shift  # x = x_struct(+/-) + shift
+
+        if lp.a_ub is not None:
+            a_ub = expand_matrix(lp.a_ub)
+            b_ub = lp.b_ub - lp.a_ub @ shift_full
+            rows_a.append(a_ub)
+            rows_b.append(b_ub)
+            ineq_rows += a_ub.shape[0]
+
+        # Finite upper bounds become rows x_i ≤ ub_i - shift_i.
+        ub_rows = []
+        ub_rhs = []
+        for i in range(n):
+            hi = lp.ub[i]
+            if np.isfinite(hi):
+                row = np.zeros(num_structural)
+                row[pos_col[i]] = 1.0
+                if neg_col[i] >= 0:
+                    row[neg_col[i]] = -1.0
+                ub_rows.append(row)
+                ub_rhs.append(hi - shift[i])
+        if ub_rows:
+            rows_a.append(np.vstack(ub_rows))
+            rows_b.append(np.array(ub_rhs))
+            ineq_rows += len(ub_rows)
+
+        eq_a = eq_b = None
+        if lp.a_eq is not None:
+            eq_a = expand_matrix(lp.a_eq)
+            eq_b = lp.b_eq - lp.a_eq @ shift_full
+
+        total_ineq = ineq_rows
+        total_rows = total_ineq + (0 if eq_a is None else eq_a.shape[0])
+        total_cols = num_structural + total_ineq
+
+        a = np.zeros((total_rows, total_cols))
+        b = np.zeros(total_rows)
+        row0 = 0
+        slack0 = num_structural
+        for block_a, block_b in zip(rows_a, rows_b):
+            r = block_a.shape[0]
+            a[row0 : row0 + r, :num_structural] = block_a
+            a[row0 : row0 + r, slack0 + row0 : slack0 + row0 + r] = np.eye(r)
+            b[row0 : row0 + r] = block_b
+            row0 += r
+        if eq_a is not None:
+            r = eq_a.shape[0]
+            a[row0 : row0 + r, :num_structural] = eq_a
+            b[row0 : row0 + r] = eq_b
+
+        c = np.zeros(total_cols)
+        for col, (sign, i) in enumerate(col_blocks):
+            c[col] = sign * lp.c[i]
+        offset = float(lp.c @ shift_full)
+
+        return cls(
+            c=c,
+            a=a,
+            b=b,
+            offset=offset,
+            num_structural=num_structural,
+            pos_col=pos_col,
+            neg_col=neg_col,
+            shift=shift,
+        )
+
+    def with_appended_rows(
+        self, rows: np.ndarray, rhs: np.ndarray
+    ) -> "StandardFormLP":
+        """Copy with extra ≤-rows appended (each gains a slack column).
+
+        ``rows`` has shape (k, n_current) over the *current* columns; the
+        result has k extra rows and k extra slack columns.  This is the
+        cut-incorporation operation of paper §5.2 (and how branching
+        could be done if bounds were rows).
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        rhs = np.atleast_1d(np.asarray(rhs, dtype=np.float64))
+        k = rows.shape[0]
+        if rows.shape[1] != self.n or rhs.shape[0] != k:
+            raise ProblemFormatError(
+                f"appended rows shape {rows.shape}/{rhs.shape} does not "
+                f"match {self.n} columns"
+            )
+        m, n = self.m, self.n
+        a = np.zeros((m + k, n + k))
+        a[:m, :n] = self.a
+        a[m:, :n] = rows
+        a[m:, n:] = np.eye(k)
+        b = np.concatenate([self.b, rhs])
+        c = np.concatenate([self.c, np.zeros(k)])
+        return StandardFormLP(
+            c=c,
+            a=a,
+            b=b,
+            offset=self.offset,
+            num_structural=self.num_structural,
+            pos_col=self.pos_col,
+            neg_col=self.neg_col,
+            shift=self.shift,
+        )
+
+    def recover_x(self, x_standard: np.ndarray) -> np.ndarray:
+        """Map a standard-form solution back to original variables."""
+        n = self.pos_col.shape[0]
+        x = np.zeros(n)
+        for i in range(n):
+            value = x_standard[self.pos_col[i]]
+            if self.neg_col[i] >= 0:
+                value -= x_standard[self.neg_col[i]]
+            x[i] = value + self.shift[i]
+        return x
+
+    def objective_value(self, x_standard: np.ndarray) -> float:
+        """Objective (original space) of a standard-form solution."""
+        return float(self.c @ x_standard) + self.offset

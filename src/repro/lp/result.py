@@ -1,0 +1,47 @@
+"""LP solver result types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+class LPStatus(enum.Enum):
+    """Terminal status of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+    @property
+    def ok(self) -> bool:
+        """True when an optimal solution was proven."""
+        return self is LPStatus.OPTIMAL
+
+
+@dataclass
+class LPResult:
+    """Outcome of an LP solve in the *original* variable space."""
+
+    status: LPStatus
+    #: Objective value (maximization); meaningful only when optimal.
+    objective: float = np.nan
+    #: Primal solution in original variables; None unless optimal.
+    x: Optional[np.ndarray] = None
+    #: Dual values for the rows of the standard form (None if unavailable).
+    duals: Optional[np.ndarray] = None
+    #: Simplex iterations (or IPM iterations) used.
+    iterations: int = 0
+    #: Basic-variable indices in standard form (for warm starts).
+    basis: Optional[np.ndarray] = None
+    #: Standard-form primal solution (for cut generation / warm starts).
+    x_standard: Optional[np.ndarray] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when an optimal solution was proven."""
+        return self.status.ok

@@ -1,0 +1,307 @@
+"""Two-phase revised primal simplex with product-form basis management.
+
+This is the exterior-point workhorse the paper's §5.1 describes: a
+resident basis inverse maintained by rank-1 eta updates
+(:class:`repro.la.updates.ProductFormInverse`), refactorized on a cadence,
+with pricing via ``btran`` and the ratio test via ``ftran``.  An optional
+*cost hook* receives one callback per linear-algebra operation so a
+simulated device can charge the exact kernel stream a GPU implementation
+would launch (how strategies in :mod:`repro.strategies` meter their GPUs).
+
+Algorithm notes:
+
+- Standard form ``max cᵀx, Ax = b, x ≥ 0``; rows are pre-negated so
+  ``b ≥ 0`` and phase 1 starts from an all-artificial identity basis.
+- Phase 1 maximizes −Σ artificials; a positive infeasibility at its
+  optimum proves infeasibility; lingering zero-valued artificial basics
+  are pivoted out or their rows marked redundant.
+- Degeneracy: after 40 consecutive degenerate pivots the pricing rule
+  falls back to Bland's (provably cycle-free) until progress resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, Config
+from repro.errors import SingularMatrixError
+from repro.la.updates import ProductFormInverse
+from repro.lp.pricing import BlandPricing, PricingRule, make_pricing
+from repro.lp.problem import LinearProgram, StandardFormLP
+from repro.lp.result import LPResult, LPStatus
+
+
+class CostHook:
+    """Receives one call per linear-algebra operation of the simplex.
+
+    The default implementation is a no-op; the device-backed hook in
+    :mod:`repro.strategies.engine` charges the corresponding kernels.
+    """
+
+    def on_factorize(self, m: int) -> None:
+        """Basis (re)factorization of an m×m matrix."""
+
+    def on_ftran(self, m: int, num_etas: int) -> None:
+        """Forward solve B x = b through the eta chain."""
+
+    def on_btran(self, m: int, num_etas: int) -> None:
+        """Backward solve Bᵀ y = c through the eta chain."""
+
+    def on_pricing(self, m: int, n: int) -> None:
+        """Full reduced-cost computation (Aᵀy gemv)."""
+
+    def on_update(self, m: int) -> None:
+        """One eta append (rank-1 basis change)."""
+
+    def on_ratio_test(self, m: int) -> None:
+        """Elementwise ratio test over the basic solution."""
+
+
+NULL_HOOK = CostHook()
+
+
+@dataclass
+class SimplexOptions:
+    """Tuning knobs for the revised simplex."""
+
+    pricing: str = "dantzig"
+    refactor_interval: int = 64
+    max_iterations: Optional[int] = None
+    config: Config = field(default_factory=lambda: DEFAULT_CONFIG)
+    #: Consecutive degenerate pivots before switching to Bland's rule.
+    degenerate_switch: int = 40
+
+
+@dataclass
+class _Workspace:
+    """Mutable state of one simplex run over standard form data."""
+
+    a: np.ndarray  # (m, n) with b >= 0 after row negation
+    b: np.ndarray
+    basis: np.ndarray  # (m,) basic column per row
+    pfi: ProductFormInverse
+    x_basic: np.ndarray
+    hook: CostHook
+    options: SimplexOptions
+    updates_since_refactor: int = 0
+    iterations: int = 0
+
+    def refactorize(self) -> None:
+        basis_matrix = self.a[:, self.basis]
+        self.pfi.refactorize(basis_matrix)
+        self.hook.on_factorize(self.a.shape[0])
+        self.x_basic = self.ftran(self.b)
+        self.updates_since_refactor = 0
+
+    def ftran(self, rhs: np.ndarray) -> np.ndarray:
+        self.hook.on_ftran(self.a.shape[0], self.pfi.num_etas)
+        return self.pfi.ftran(rhs)
+
+    def btran(self, rhs: np.ndarray) -> np.ndarray:
+        self.hook.on_btran(self.a.shape[0], self.pfi.num_etas)
+        return self.pfi.btran(rhs)
+
+
+def solve_lp(
+    lp: LinearProgram, options: Optional[SimplexOptions] = None, hook: CostHook = NULL_HOOK
+) -> LPResult:
+    """Solve a :class:`LinearProgram` by two-phase revised simplex."""
+    sf = lp.to_standard_form()
+    result = solve_standard_form(sf, options=options, hook=hook)
+    if result.ok and result.x_standard is not None:
+        result.x = sf.recover_x(result.x_standard)
+    return result
+
+
+def solve_standard_form(
+    sf: StandardFormLP,
+    options: Optional[SimplexOptions] = None,
+    hook: CostHook = NULL_HOOK,
+) -> LPResult:
+    """Solve ``max cᵀx + offset, Ax = b, x ≥ 0`` from scratch (two-phase)."""
+    options = options or SimplexOptions()
+    tol = options.config.tolerances
+    m, n = sf.a.shape
+
+    if m == 0:
+        # No constraints: optimum is 0 unless a positive cost is unbounded.
+        if np.any(sf.c > tol.optimality):
+            return LPResult(status=LPStatus.UNBOUNDED)
+        return LPResult(
+            status=LPStatus.OPTIMAL,
+            objective=sf.offset,
+            x_standard=np.zeros(n),
+            duals=np.zeros(0),
+            basis=np.zeros(0, dtype=np.int64),
+        )
+
+    # Normalize rows so b >= 0, then append artificial columns.
+    a = sf.a.copy()
+    b = sf.b.copy()
+    neg = b < 0
+    a[neg] *= -1.0
+    b[neg] *= -1.0
+
+    a_ext = np.hstack([a, np.eye(m)])
+    basis = np.arange(n, n + m, dtype=np.int64)
+
+    pfi = ProductFormInverse(np.eye(m))
+    hook.on_factorize(m)
+    ws = _Workspace(
+        a=a_ext,
+        b=b,
+        basis=basis,
+        pfi=pfi,
+        x_basic=b.copy(),
+        hook=hook,
+        options=options,
+    )
+
+    max_iter = options.max_iterations
+    if max_iter is None:
+        max_iter = options.config.solver.simplex_iter_limit(m, n)
+
+    # ---- Phase 1: drive artificial infeasibility to zero -------------------
+    c_phase1 = np.zeros(n + m)
+    c_phase1[n:] = -1.0
+    allowed_phase1 = np.ones(n + m, dtype=bool)
+    status = _iterate(ws, c_phase1, allowed_phase1, max_iter, tol)
+    if status == LPStatus.ITERATION_LIMIT:
+        return LPResult(status=status, iterations=ws.iterations)
+    infeasibility = float(np.sum(ws.x_basic[np.asarray(ws.basis) >= n]))
+    if infeasibility > 1e-6:
+        return LPResult(status=LPStatus.INFEASIBLE, iterations=ws.iterations)
+
+    _expel_artificials(ws, n, tol)
+
+    # ---- Phase 2: optimize the true objective ------------------------------
+    c_phase2 = np.concatenate([sf.c, np.zeros(m)])
+    allowed_phase2 = np.ones(n + m, dtype=bool)
+    allowed_phase2[n:] = False  # artificials may never re-enter
+    status = _iterate(ws, c_phase2, allowed_phase2, max_iter, tol)
+
+    x_std = np.zeros(n)
+    structural = ws.basis < n
+    x_std[ws.basis[structural]] = ws.x_basic[structural]
+    x_std = np.maximum(x_std, 0.0)
+
+    if status != LPStatus.OPTIMAL:
+        return LPResult(status=status, iterations=ws.iterations)
+
+    y = ws.btran(c_phase2[ws.basis])
+    # Undo the row negations in the reported duals.
+    y_orig = y.copy()
+    y_orig[neg] *= -1.0
+    return LPResult(
+        status=LPStatus.OPTIMAL,
+        objective=float(sf.c @ x_std) + sf.offset,
+        x_standard=x_std,
+        duals=y_orig,
+        iterations=ws.iterations,
+        basis=ws.basis.copy(),
+    )
+
+
+def _iterate(
+    ws: _Workspace,
+    c: np.ndarray,
+    allowed: np.ndarray,
+    max_iter: int,
+    tol,
+) -> LPStatus:
+    """Primal simplex iterations until optimal/unbounded/limit."""
+    options = ws.options
+    pricing: PricingRule = make_pricing(options.pricing)
+    pricing.reset(c.shape[0])
+    bland = BlandPricing()
+    degenerate_streak = 0
+    m = ws.a.shape[0]
+
+    while ws.iterations < max_iter:
+        y = ws.btran(c[ws.basis])
+        ws.hook.on_pricing(m, ws.a.shape[1])
+        reduced = c - ws.a.T @ y
+        eligible = allowed & (reduced > tol.optimality)
+        eligible[ws.basis] = False
+        rule = bland if degenerate_streak >= options.degenerate_switch else pricing
+        entering = rule.select(reduced, eligible)
+        if entering is None:
+            return LPStatus.OPTIMAL
+
+        w = ws.ftran(ws.a[:, entering])
+        ws.hook.on_ratio_test(m)
+        positive = w > tol.pivot
+        if not positive.any():
+            return LPStatus.UNBOUNDED
+        ratios = np.where(positive, ws.x_basic / np.where(positive, w, 1.0), np.inf)
+        theta = ratios.min()
+        # Tie-break leaving row by largest pivot magnitude for stability.
+        tied = np.nonzero(np.abs(ratios - theta) <= 1e-12 + 1e-9 * abs(theta))[0]
+        leave_pos = int(tied[np.argmax(np.abs(w[tied]))])
+
+        if theta <= tol.pivot:
+            degenerate_streak += 1
+        else:
+            degenerate_streak = 0
+
+        # Devex needs the pivot row of B⁻¹N before the basis changes.
+        if rule is pricing and pricing.name == "devex":
+            e_r = np.zeros(m)
+            e_r[leave_pos] = 1.0
+            rho = ws.btran(e_r)
+            ws.hook.on_pricing(m, ws.a.shape[1])
+            pivot_row = ws.a.T @ rho
+            pricing.update(entering, int(ws.basis[leave_pos]), w, pivot_row)
+
+        ws.x_basic = ws.x_basic - theta * w
+        ws.x_basic[leave_pos] = theta
+        ws.x_basic = np.maximum(ws.x_basic, 0.0)
+        ws.basis[leave_pos] = entering
+        try:
+            ws.pfi.update(w, leave_pos)
+            ws.hook.on_update(m)
+        except SingularMatrixError:
+            ws.refactorize()
+        ws.updates_since_refactor += 1
+        ws.iterations += 1
+
+        if ws.updates_since_refactor >= options.refactor_interval:
+            ws.refactorize()
+
+    return LPStatus.ITERATION_LIMIT
+
+
+def _expel_artificials(ws: _Workspace, n: int, tol) -> None:
+    """Pivot zero-valued artificial variables out of the phase-1 basis.
+
+    Rows whose artificial cannot be replaced are redundant; their
+    artificial stays basic at zero and phase 2 forbids re-entry, which
+    keeps it harmless.
+    """
+    m = ws.a.shape[0]
+    for pos in range(m):
+        if ws.basis[pos] < n:
+            continue
+        e_r = np.zeros(m)
+        e_r[pos] = 1.0
+        rho = ws.btran(e_r)
+        row = ws.a[:, :n].T @ rho
+        candidates = np.nonzero(np.abs(row) > 1e-8)[0]
+        candidates = [j for j in candidates if j not in set(ws.basis.tolist())]
+        if not candidates:
+            continue  # redundant row
+        entering = int(candidates[0])
+        w = ws.ftran(ws.a[:, entering])
+        if abs(w[pos]) <= tol.pivot:
+            continue
+        ws.basis[pos] = entering
+        try:
+            ws.pfi.update(w, pos)
+            ws.hook.on_update(m)
+        except SingularMatrixError:
+            ws.refactorize()
+        ws.x_basic = ws.ftran(ws.b)
+        ws.x_basic = np.maximum(ws.x_basic, 0.0)

@@ -1,0 +1,83 @@
+"""Lightweight counters and timing breakdowns used across the stack.
+
+Every subsystem (device model, communicator, LP/MIP solvers) records its
+activity into a :class:`Metrics` instance: named monotonically increasing
+counters plus named accumulated simulated-time buckets.  Benchmarks read
+these to report transfer counts, kernel launches, iteration totals, etc.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass
+class Metrics:
+    """Named counters and simulated-time buckets.
+
+    Counters are plain integers (``inc``); time buckets accumulate floats
+    in simulated seconds (``add_time``).  Both are created on first use.
+    """
+
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    times: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (default 1)."""
+        self.counters[name] += amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of simulated time into bucket ``name``."""
+        self.times[name] += seconds
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def time(self, name: str) -> float:
+        """Accumulated simulated seconds in bucket ``name`` (0.0 default)."""
+        return self.times.get(name, 0.0)
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another metrics object into this one (sums per key)."""
+        for key, val in other.counters.items():
+            self.counters[key] += val
+        for key, val in other.times.items():
+            self.times[key] += val
+
+    def reset(self) -> None:
+        """Zero every counter and time bucket."""
+        self.counters.clear()
+        self.times.clear()
+
+    def snapshot(self) -> "Metrics":
+        """Deep copy suitable for before/after differencing."""
+        snap = Metrics()
+        snap.counters = defaultdict(int, self.counters)
+        snap.times = defaultdict(float, self.times)
+        return snap
+
+    def diff(self, before: "Metrics") -> "Metrics":
+        """Metrics accumulated since ``before`` (a prior :meth:`snapshot`)."""
+        out = Metrics()
+        for key, val in self.counters.items():
+            delta = val - before.counters.get(key, 0)
+            if delta:
+                out.counters[key] = delta
+        for key, val in self.times.items():
+            delta = val - before.times.get(key, 0.0)
+            if delta:
+                out.times[key] = delta
+        return out
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """Iterate ``(name, value)`` over counters then time buckets."""
+        yield from self.counters.items()
+        yield from self.times.items()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{k}={v}" for k, v in sorted(self.counters.items())]
+        parts += [f"{k}={v:.6g}s" for k, v in sorted(self.times.items())]
+        return "Metrics(" + ", ".join(parts) + ")"

@@ -1,0 +1,78 @@
+"""Disk persistence for consistent snapshots (UG-style checkpointing).
+
+§2.3: UG "includes implementations of ramp-up, dynamic load balancing,
+and check-pointing and restarting mechanisms."  This module serializes a
+:class:`repro.mip.snapshot.SearchSnapshot` to a single JSON document —
+small (bound boxes + incumbent only), human-inspectable, and restartable
+across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.errors import MIPError
+from repro.mip.snapshot import SearchSnapshot
+
+FORMAT_VERSION = 1
+
+
+def _encode_array(arr: np.ndarray) -> list:
+    # Infinities must survive JSON: encode as strings.
+    return [
+        ("inf" if v == np.inf else "-inf" if v == -np.inf else float(v))
+        for v in np.asarray(arr, dtype=np.float64)
+    ]
+
+
+def _decode_array(values: list) -> np.ndarray:
+    return np.array(
+        [np.inf if v == "inf" else -np.inf if v == "-inf" else float(v) for v in values]
+    )
+
+
+def save_snapshot(snapshot: SearchSnapshot, path: str) -> None:
+    """Write a snapshot as JSON (atomically via a temp file)."""
+    doc = {
+        "version": FORMAT_VERSION,
+        "incumbent_objective": (
+            None
+            if snapshot.incumbent_objective == -np.inf
+            else float(snapshot.incumbent_objective)
+        ),
+        "incumbent_x": (
+            None
+            if snapshot.incumbent_x is None
+            else _encode_array(snapshot.incumbent_x)
+        ),
+        "leaves": [
+            {"lb": _encode_array(lb), "ub": _encode_array(ub)}
+            for lb, ub in snapshot.leaves
+        ],
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle)
+    os.replace(tmp, path)
+
+
+def load_snapshot(path: str) -> SearchSnapshot:
+    """Read a snapshot written by :func:`save_snapshot`."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    version = doc.get("version")
+    if version != FORMAT_VERSION:
+        raise MIPError(f"unsupported checkpoint version {version!r}")
+    incumbent = doc.get("incumbent_objective")
+    incumbent_x = doc.get("incumbent_x")
+    return SearchSnapshot(
+        leaves=[
+            (_decode_array(leaf["lb"]), _decode_array(leaf["ub"]))
+            for leaf in doc["leaves"]
+        ],
+        incumbent_objective=-np.inf if incumbent is None else float(incumbent),
+        incumbent_x=None if incumbent_x is None else _decode_array(incumbent_x),
+    )

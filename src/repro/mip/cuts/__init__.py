@@ -1,0 +1,22 @@
+"""Cutting planes for branch-and-cut (paper §5.2).
+
+Cuts are generated *per node* and "added temporarily to the matrix for a
+particular tree node" (paper §5.2) — children warm-start from the
+pre-cut parent basis.  Two families:
+
+- :mod:`repro.mip.cuts.gomory` — Gomory mixed-integer (GMI) cuts read
+  off the optimal simplex tableau, expressed directly in the node's
+  standard form.
+- :mod:`repro.mip.cuts.cover` — knapsack cover cuts from binary ≤-rows.
+- :mod:`repro.mip.cuts.mir` — single-row mixed-integer rounding cuts
+  with divisor trials (c-MIR lite).
+
+:mod:`repro.mip.cuts.pool` deduplicates and ranks candidate cuts.
+"""
+
+from repro.mip.cuts.gomory import gomory_mixed_integer_cuts
+from repro.mip.cuts.cover import cover_cuts
+from repro.mip.cuts.mir import mir_cuts
+from repro.mip.cuts.pool import Cut, CutPool
+
+__all__ = ["gomory_mixed_integer_cuts", "cover_cuts", "mir_cuts", "Cut", "CutPool"]

@@ -1,0 +1,74 @@
+"""MIP solver result types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.mip.tree import BBTree
+
+
+class MIPStatus(enum.Enum):
+    """Terminal status of a branch-and-bound search."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    NODE_LIMIT = "node_limit"
+    UNBOUNDED = "unbounded"
+
+    @property
+    def ok(self) -> bool:
+        """True when optimality was proven."""
+        return self is MIPStatus.OPTIMAL
+
+
+@dataclass
+class MIPStats:
+    """Search statistics for reports and benchmarks."""
+
+    nodes_processed: int = 0
+    lp_iterations: int = 0
+    cuts_added: int = 0
+    cut_rounds: int = 0
+    warm_starts: int = 0
+    cold_starts: int = 0
+    heuristic_solutions: int = 0
+    #: (nodes_processed, incumbent) history for gap plots.
+    incumbent_history: List[Tuple[int, float]] = field(default_factory=list)
+    #: Matrix "switches": evaluated node not a child of the previous one.
+    matrix_switches: int = 0
+    #: Total tree distance travelled between consecutive nodes (§5.3).
+    reuse_distance: int = 0
+
+
+@dataclass
+class MIPResult:
+    """Outcome of a branch-and-bound search."""
+
+    status: MIPStatus
+    objective: float = np.nan
+    x: Optional[np.ndarray] = None
+    #: Best proven upper bound (== objective when optimal).
+    best_bound: float = np.inf
+    stats: MIPStats = field(default_factory=MIPStats)
+    #: The search tree (retained when options.keep_tree).
+    tree: Optional[BBTree] = None
+    #: Best distinct feasible solutions found, ``(objective, x)`` sorted
+    #: best-first; length capped by ``SolverOptions.solution_pool_size``.
+    solution_pool: List[Tuple[float, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when optimality was proven."""
+        return self.status.ok
+
+    @property
+    def gap(self) -> float:
+        """Relative gap between incumbent and best bound."""
+        if not np.isfinite(self.objective) or not np.isfinite(self.best_bound):
+            return np.inf
+        denom = max(1e-10, abs(self.objective))
+        return abs(self.best_bound - self.objective) / denom

@@ -1,0 +1,142 @@
+"""Consistent snapshots of a branch-and-bound search (paper §2.1).
+
+"A consistent snapshot of the branch-and-bound tree is defined as the
+set of leaves that preserves the optimal solution to the problem."  In
+a sequential search that set is simply the active leaves at any moment
+between node evaluations; this module captures it, serializes it, and
+resumes the search from it — the checkpoint/restart facility UG provides
+(§2.3) and experiment E9 measures.
+
+The distributed variant lives in :mod:`repro.comm.supervisor` (the
+supervisor's queued ∪ outstanding task set); both obey the same
+invariant, tested in ``tests/mip/test_snapshot.py``: *restarting from
+any snapshot reproduces the original optimum*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MIPError
+from repro.mip.problem import MIPProblem
+from repro.mip.result import MIPResult, MIPStatus
+from repro.mip.tree import BBTree
+
+
+@dataclass
+class SearchSnapshot:
+    """A consistent snapshot: per-leaf bound boxes plus the incumbent."""
+
+    #: (lb, ub) pairs, one per active leaf.
+    leaves: List[Tuple[np.ndarray, np.ndarray]]
+    incumbent_objective: float = -np.inf
+    incumbent_x: Optional[np.ndarray] = None
+
+    @property
+    def num_leaves(self) -> int:
+        """Open leaves captured."""
+        return len(self.leaves)
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Stack the leaf boxes into (k, n) arrays for serialization."""
+        if not self.leaves:
+            n = 0 if self.incumbent_x is None else self.incumbent_x.shape[0]
+            return np.zeros((0, n)), np.zeros((0, n))
+        lbs = np.vstack([lb for lb, _ in self.leaves])
+        ubs = np.vstack([ub for _, ub in self.leaves])
+        return lbs, ubs
+
+    @classmethod
+    def from_arrays(
+        cls,
+        lbs: np.ndarray,
+        ubs: np.ndarray,
+        incumbent_objective: float = -np.inf,
+        incumbent_x: Optional[np.ndarray] = None,
+    ) -> "SearchSnapshot":
+        """Rebuild a snapshot from stacked arrays."""
+        leaves = [(lbs[i].copy(), ubs[i].copy()) for i in range(lbs.shape[0])]
+        return cls(
+            leaves=leaves,
+            incumbent_objective=incumbent_objective,
+            incumbent_x=incumbent_x,
+        )
+
+
+def capture_snapshot(
+    tree: BBTree,
+    incumbent_objective: float = -np.inf,
+    incumbent_x: Optional[np.ndarray] = None,
+) -> SearchSnapshot:
+    """Capture the consistent snapshot of a (paused) search tree."""
+    leaves = [tree.node_bounds(node.node_id) for node in tree.active_leaves()]
+    return SearchSnapshot(
+        leaves=leaves,
+        incumbent_objective=incumbent_objective,
+        incumbent_x=incumbent_x,
+    )
+
+
+def assert_search_complete(tree: BBTree) -> None:
+    """Figure 1's completion invariant: no node remains ACTIVE.
+
+    Raises :class:`MIPError` when violated.
+    """
+    stuck = tree.active_leaves()
+    if stuck:
+        ids = [n.node_id for n in stuck[:8]]
+        raise MIPError(
+            f"search not complete: {len(stuck)} nodes still active (e.g. {ids})"
+        )
+
+
+def resume_from_snapshot(
+    problem: MIPProblem,
+    snapshot: SearchSnapshot,
+    solver_factory=None,
+) -> MIPResult:
+    """Finish a search from a snapshot; the optimum is preserved.
+
+    Each captured leaf becomes an independent sub-MIP (the problem
+    restricted to the leaf's bound box); the best sub-result merged with
+    the snapshot incumbent equals the original problem's optimum.
+    """
+    from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+
+    if solver_factory is None:
+        def solver_factory(sub):
+            return BranchAndBoundSolver(sub, SolverOptions())
+
+    best_obj = snapshot.incumbent_objective
+    best_x = snapshot.incumbent_x
+    total_nodes = 0
+    for lb, ub in snapshot.leaves:
+        sub = MIPProblem(
+            c=problem.c,
+            integer=problem.integer,
+            a_ub=problem.a_ub,
+            b_ub=problem.b_ub,
+            a_eq=problem.a_eq,
+            b_eq=problem.b_eq,
+            lb=lb,
+            ub=ub,
+            name=f"{problem.name}-leaf",
+        )
+        result = solver_factory(sub).solve()
+        total_nodes += result.stats.nodes_processed
+        if result.status is MIPStatus.OPTIMAL and result.objective > best_obj:
+            best_obj = result.objective
+            best_x = result.x
+
+    status = MIPStatus.OPTIMAL if best_x is not None else MIPStatus.INFEASIBLE
+    out = MIPResult(
+        status=status,
+        objective=best_obj if best_x is not None else np.nan,
+        x=best_x,
+        best_bound=best_obj if best_x is not None else -np.inf,
+    )
+    out.stats.nodes_processed = total_nodes
+    return out

@@ -1,0 +1,441 @@
+"""The branch-and-cut driver.
+
+:class:`BranchAndBoundSolver` runs the search loop of paper §2.1 over the
+:class:`repro.mip.tree.BBTree`, with every linear-algebra-heavy step
+routed through an :class:`ExecutionEngine`:
+
+- ``solve_relaxation`` — the node LP (warm dual-simplex restart from the
+  parent basis when possible, else cold two-phase primal);
+- ``resolve_after_cuts`` — re-optimization after appending cut rows;
+- ``begin_node`` — called with the tree distance from the previously
+  evaluated node, so device-backed engines can charge matrix re-uploads
+  when the search jumps subtrees (paper §5.3).
+
+The default engine computes everything host-side with no cost model;
+:mod:`repro.strategies` subclasses it to realize the paper's four
+parallel execution strategies with full device/transfer accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, Config
+from repro.errors import LPError, MIPError
+from repro.lp.dual_simplex import dual_simplex_resolve
+from repro.lp.problem import StandardFormLP
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.simplex import SimplexOptions, solve_standard_form
+from repro.mip.branching import BranchingRule, make_branching
+from repro.mip.cuts.cover import cover_cuts
+from repro.mip.cuts.gomory import gomory_mixed_integer_cuts
+from repro.mip.cuts.mir import mir_cuts
+from repro.mip.cuts.pool import CutPool
+from repro.mip.heuristics import rounding_heuristic
+from repro.mip.node_selection import make_selector
+from repro.mip.problem import MIPProblem
+from repro.mip.result import MIPResult, MIPStats, MIPStatus
+from repro.mip.tree import BBTree, BoundChange, NodeTag
+
+
+class ExecutionEngine:
+    """LP backend + cost metering for the branch-and-cut loop.
+
+    The default implementation is exact and free (no simulated costs);
+    device-backed engines override the hooks to charge kernels and
+    transfers.
+    """
+
+    def __init__(self, simplex_options: Optional[SimplexOptions] = None):
+        self.simplex_options = simplex_options or SimplexOptions()
+
+    # -- lifecycle hooks ------------------------------------------------------
+
+    def begin_search(self, problem: MIPProblem, sf_root: StandardFormLP) -> None:
+        """Called once before the first node."""
+
+    def begin_node(self, node_id: int, tree_distance: Optional[int], matrix_bytes: int) -> None:
+        """Called before each node; distance is from the previous node."""
+
+    def end_search(self) -> None:
+        """Called when the search loop exits."""
+
+    # -- LP services ----------------------------------------------------------
+
+    def solve_relaxation(
+        self,
+        sf: StandardFormLP,
+        warm_basis: Optional[np.ndarray] = None,
+        probe: bool = False,
+    ) -> LPResult:
+        """Solve a node relaxation, warm when a parent basis is usable."""
+        if warm_basis is not None:
+            try:
+                return dual_simplex_resolve(
+                    sf, warm_basis, options=self.simplex_options
+                )
+            except LPError:
+                pass
+        options = self.simplex_options
+        if probe:
+            options = SimplexOptions(
+                pricing=options.pricing,
+                refactor_interval=options.refactor_interval,
+                max_iterations=200,
+                config=options.config,
+            )
+        return solve_standard_form(sf, options=options)
+
+    def resolve_after_cuts(
+        self,
+        sf_grown: StandardFormLP,
+        basis_extended: np.ndarray,
+        num_cuts: int,
+        cut_bytes: int,
+    ) -> LPResult:
+        """Re-optimize after cut rows were appended (dual simplex)."""
+        try:
+            return dual_simplex_resolve(
+                sf_grown, basis_extended, options=self.simplex_options
+            )
+        except LPError:
+            return solve_standard_form(sf_grown, options=self.simplex_options)
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated seconds consumed (0 for the free default engine)."""
+        return 0.0
+
+
+@dataclass
+class SolverOptions:
+    """Branch-and-cut configuration."""
+
+    branching: str = "pseudocost"
+    node_selection: str = "best_first"
+    #: Cut-generation rounds per node (0 disables branch-and-cut).
+    cut_rounds: int = 0
+    cuts_per_round: int = 8
+    #: Only generate cuts at nodes this shallow (root = 0).
+    cut_depth_limit: int = 4
+    use_rounding_heuristic: bool = True
+    node_limit: int = 200_000
+    #: Relative optimality gap for early stop.
+    mip_gap: float = 1e-6
+    keep_tree: bool = False
+    simplex: SimplexOptions = field(default_factory=SimplexOptions)
+    config: Config = field(default_factory=lambda: DEFAULT_CONFIG)
+    #: Warm-start children from the parent basis (§5.3 reuse).
+    warm_start: bool = True
+    #: Probe binary variables at the root (§3.3) before searching.
+    probe_root: bool = False
+    #: Emit a progress line every N processed nodes (0 = silent).
+    log_every: int = 0
+    #: Sink for progress lines (defaults to print).
+    log_fn: Optional[Callable[[str], None]] = None
+    #: Keep up to this many distinct improving solutions (solution pool).
+    solution_pool_size: int = 1
+
+
+class BranchAndBoundSolver:
+    """Branch-and-cut for :class:`MIPProblem` (maximization)."""
+
+    def __init__(
+        self,
+        problem: MIPProblem,
+        options: Optional[SolverOptions] = None,
+        engine: Optional[ExecutionEngine] = None,
+    ):
+        self.problem = problem
+        self.options = options or SolverOptions()
+        self.engine = engine or ExecutionEngine(self.options.simplex)
+        self.stats = MIPStats()
+        self._tol = self.options.config.tolerances
+
+    def solve(self) -> MIPResult:
+        """Run the search to optimality, infeasibility, or the node limit."""
+        problem = self.problem
+        options = self.options
+
+        if options.probe_root:
+            from repro.mip.probing import apply_probing, probe
+
+            probed = probe(problem)
+            if not probed.feasible:
+                return MIPResult(status=MIPStatus.INFEASIBLE, stats=self.stats)
+            if probed.num_fixed or not (
+                np.array_equal(probed.lb, problem.lb)
+                and np.array_equal(probed.ub, problem.ub)
+            ):
+                problem = apply_probing(problem, probed)
+                self.problem = problem
+
+        tree = BBTree(problem.relaxation())
+        selector = make_selector(options.node_selection, tree)
+        branching: BranchingRule = make_branching(options.branching)
+
+        incumbent_obj = -np.inf
+        incumbent_x: Optional[np.ndarray] = None
+        solution_pool: list = []
+        last_node: Optional[int] = None
+
+        def record_solution(obj: float, x: np.ndarray) -> None:
+            solution_pool.append((obj, x.copy()))
+            solution_pool.sort(key=lambda t: -t[0])
+            del solution_pool[options.solution_pool_size :]
+
+        sf_root = tree.node_problem(0).to_standard_form()
+        self.engine.begin_search(problem, sf_root)
+        matrix_bytes = sf_root.a.size * 8
+
+        tree.root.inherited_bound = np.inf
+        selector.push(0, np.inf)
+
+        status = None
+        while selector and self.stats.nodes_processed < options.node_limit:
+            node_id = selector.pop()
+            node = tree.node(node_id)
+
+            # Prune on the inherited (parent) bound without touching the LP.
+            if self._dominated(node.inherited_bound, incumbent_obj):
+                node.tag = NodeTag.PRUNED
+                node.lp_bound = node.inherited_bound
+                continue
+
+            distance = None if last_node is None else tree.tree_distance(last_node, node_id)
+            self.engine.begin_node(node_id, distance, matrix_bytes)
+            if distance is not None:
+                self.stats.reuse_distance += distance
+                if distance > 1:
+                    self.stats.matrix_switches += 1
+            last_node = node_id
+
+            sf = tree.node_problem(node_id).to_standard_form()
+            warm = None
+            if options.warm_start and node.parent_id is not None:
+                warm = tree.node(node.parent_id).warm_basis
+            res = self.engine.solve_relaxation(sf, warm_basis=warm)
+            self.stats.nodes_processed += 1
+            self.stats.lp_iterations += res.iterations
+            if options.log_every and self.stats.nodes_processed % options.log_every == 0:
+                self._log(options, incumbent_obj, node.inherited_bound, len(selector))
+            if warm is not None and res.status is not LPStatus.ITERATION_LIMIT:
+                self.stats.warm_starts += 1
+            else:
+                self.stats.cold_starts += 1
+
+            if res.status is LPStatus.INFEASIBLE:
+                node.tag = NodeTag.INFEASIBLE
+                continue
+            if res.status is LPStatus.UNBOUNDED:
+                if node_id == 0:
+                    status = MIPStatus.UNBOUNDED
+                    break
+                raise MIPError("non-root node relaxation unbounded")
+            if res.status is LPStatus.ITERATION_LIMIT:
+                raise MIPError(
+                    f"LP iteration limit hit at node {node_id}; "
+                    "raise SimplexOptions.max_iterations"
+                )
+
+            node.lp_bound = res.objective
+            node.warm_basis = res.basis
+            self._record_pseudocost(branching, tree, node, res.objective)
+
+            if self._dominated(res.objective, incumbent_obj):
+                node.tag = NodeTag.PRUNED
+                continue
+
+            x = sf.recover_x(res.x_standard)
+            fractional = problem.fractional_integers(x)
+
+            # Cut rounds (branch-and-cut, §5.2) at shallow nodes.
+            if (
+                options.cut_rounds > 0
+                and fractional.size > 0
+                and node.depth <= options.cut_depth_limit
+            ):
+                sf_cut, res_cut = self._run_cut_rounds(sf, res, x)
+                if res_cut is not None:
+                    res = res_cut
+                    node.lp_bound = min(node.lp_bound, res.objective)
+                    x = sf_cut.recover_x(res.x_standard)
+                    fractional = problem.fractional_integers(x)
+                    if self._dominated(node.lp_bound, incumbent_obj):
+                        node.tag = NodeTag.PRUNED
+                        continue
+
+            if fractional.size == 0:
+                node.tag = NodeTag.FEASIBLE
+                obj = problem.objective(x)
+                record_solution(obj, x)
+                if obj > incumbent_obj:
+                    incumbent_obj, incumbent_x = obj, x
+                    self.stats.incumbent_history.append(
+                        (self.stats.nodes_processed, obj)
+                    )
+                continue
+
+            # Primal heuristic: try rounding the fractional point.
+            if options.use_rounding_heuristic:
+                candidate = rounding_heuristic(problem, x)
+                if candidate is not None:
+                    obj = problem.objective(candidate)
+                    record_solution(obj, candidate)
+                    if obj > incumbent_obj:
+                        incumbent_obj, incumbent_x = obj, candidate
+                        self.stats.heuristic_solutions += 1
+                        self.stats.incumbent_history.append(
+                            (self.stats.nodes_processed, obj)
+                        )
+
+            # Branch.
+            probe = self._make_probe(tree, node_id, node.warm_basis)
+            var = branching.select(fractional, x, node.lp_bound, probe=probe)
+            value = x[var]
+            node.tag = NodeTag.BRANCHED
+            node.branch_var = var
+            down = tree.add_child(
+                node_id,
+                BoundChange(var=var, kind="ub", value=float(np.floor(value)), parent_value=float(value)),
+            )
+            up = tree.add_child(
+                node_id,
+                BoundChange(var=var, kind="lb", value=float(np.ceil(value)), parent_value=float(value)),
+            )
+            for child in (down, up):
+                child.inherited_bound = node.lp_bound
+                selector.push(child.node_id, node.lp_bound)
+
+        self.engine.end_search()
+
+        # Derive the final status and bound.
+        open_bounds = [n.inherited_bound for n in tree.active_leaves()]
+        if status is MIPStatus.UNBOUNDED:
+            result_status = status
+            best_bound = np.inf
+        elif selector and self.stats.nodes_processed >= options.node_limit:
+            result_status = MIPStatus.NODE_LIMIT
+            best_bound = max([incumbent_obj] + open_bounds)
+        elif incumbent_x is None:
+            result_status = MIPStatus.INFEASIBLE
+            best_bound = -np.inf
+        else:
+            result_status = MIPStatus.OPTIMAL
+            best_bound = incumbent_obj
+
+        return MIPResult(
+            status=result_status,
+            objective=incumbent_obj if incumbent_x is not None else np.nan,
+            x=incumbent_x,
+            best_bound=best_bound,
+            stats=self.stats,
+            tree=tree if options.keep_tree else None,
+            solution_pool=solution_pool,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _log(
+        self, options: SolverOptions, incumbent: float, bound: float, open_nodes: int
+    ) -> None:
+        gap = "inf"
+        if np.isfinite(incumbent) and np.isfinite(bound) and abs(incumbent) > 1e-12:
+            gap = f"{abs(bound - incumbent) / abs(incumbent) * 100:.2f}%"
+        line = (
+            f"nodes={self.stats.nodes_processed:>6}  open={open_nodes:>5}  "
+            f"incumbent={incumbent:.6g}  bound={bound:.6g}  gap={gap}  "
+            f"cuts={self.stats.cuts_added}"
+        )
+        (options.log_fn or print)(line)
+
+    def _dominated(self, bound: float, incumbent: float) -> bool:
+        """True when a node bound cannot beat the incumbent."""
+        if not np.isfinite(bound):
+            return False
+        threshold = incumbent + max(
+            self._tol.mip_gap_abs, self.options.mip_gap * abs(incumbent)
+        )
+        return bound <= threshold
+
+    def _record_pseudocost(
+        self, branching: BranchingRule, tree: BBTree, node, child_bound: float
+    ) -> None:
+        if node.parent_id is None or node.change is None:
+            return
+        parent = tree.node(node.parent_id)
+        if not np.isfinite(parent.lp_bound):
+            return
+        change: BoundChange = node.change
+        degradation = parent.lp_bound - child_bound
+        f = change.parent_value - np.floor(change.parent_value)
+        if change.kind == "lb":  # rounded up
+            branching.record(change.var, "up", 1.0 - f, degradation)
+        else:
+            branching.record(change.var, "down", f, degradation)
+
+    def _make_probe(
+        self, tree: BBTree, node_id: int, warm_basis: Optional[np.ndarray]
+    ) -> Callable[[int, Optional[float], Optional[float]], float]:
+        """Child-LP prober for strong branching."""
+
+        def probe(var: int, new_lb: Optional[float], new_ub: Optional[float]) -> float:
+            child_lp = tree.node_problem(node_id).with_bounds(var, lb=new_lb, ub=new_ub)
+            sf = child_lp.to_standard_form()
+            res = self.engine.solve_relaxation(sf, warm_basis=warm_basis, probe=True)
+            if res.status is LPStatus.OPTIMAL:
+                return res.objective
+            if res.status is LPStatus.INFEASIBLE:
+                return -np.inf
+            return -np.inf
+
+        return probe
+
+    def _run_cut_rounds(self, sf: StandardFormLP, res: LPResult, x: np.ndarray):
+        """Generate and apply cut rounds; returns (sf_final, res_final)."""
+        options = self.options
+        sf_work, res_work, x_work = sf, res, x
+        applied_any = False
+        for _ in range(options.cut_rounds):
+            if res_work.basis is None or res_work.x_standard is None:
+                break
+            pool = CutPool()
+            for cut in gomory_mixed_integer_cuts(
+                self.problem, sf_work, res_work.basis, res_work.x_standard
+            ):
+                pool.add(cut)
+            for cut in cover_cuts(self.problem, sf_work, x_work):
+                pool.add(cut)
+            for cut in mir_cuts(self.problem, sf_work, x_work):
+                pool.add(cut)
+            selected = pool.select(options.cuts_per_round)
+            if not selected:
+                break
+            rows = np.vstack([c.row for c in selected])
+            rhs = np.array([c.rhs for c in selected])
+            sf_next = sf_work.with_appended_rows(rows, rhs)
+            basis_ext = np.concatenate(
+                [res_work.basis, np.arange(sf_work.n, sf_next.n, dtype=np.int64)]
+            )
+            res_next = self.engine.resolve_after_cuts(
+                sf_next, basis_ext, len(selected), rows.size * 8 + rhs.size * 8
+            )
+            self.stats.cut_rounds += 1
+            if res_next.status is not LPStatus.OPTIMAL:
+                # A valid cut cannot make the MIP infeasible; numerical
+                # failure → discard this round and stop cutting.
+                break
+            self.stats.cuts_added += len(selected)
+            sf_work, res_work = sf_next, res_next
+            x_work = sf_work.recover_x(res_work.x_standard)
+            applied_any = True
+            if self.problem.fractional_integers(x_work).size == 0:
+                break
+        if not applied_any:
+            return sf, None
+        return sf_work, res_work

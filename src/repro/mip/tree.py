@@ -1,0 +1,210 @@
+"""The branch-and-bound tree with Figure 1's node tags.
+
+Nodes carry *bound deltas* rather than whole problems: a node's LP is
+the root problem plus the chain of variable-bound tightenings along its
+ancestor path — exactly the "minor updates such as new bounds added for
+a subset of variables" reuse the paper's §5.3 describes.
+
+Tags follow Figure 1: every node is ``ACTIVE`` while awaiting (or under)
+evaluation; evaluation converts it to ``FEASIBLE`` (integral solution),
+``INFEASIBLE``, ``PRUNED`` (bound dominated by the incumbent) or
+``BRANCHED`` (interior node with children).  At completion of the search
+no node may remain ``ACTIVE`` — asserted by
+:func:`repro.mip.snapshot.assert_search_complete`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MIPError
+from repro.lp.problem import LinearProgram
+
+
+class NodeTag(enum.Enum):
+    """Life-cycle tag of a branch-and-bound node (paper Figure 1)."""
+
+    ACTIVE = "active"
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    PRUNED = "pruned"
+    BRANCHED = "branched"
+
+    @property
+    def is_leaf_terminal(self) -> bool:
+        """True for tags that close a leaf."""
+        return self in (NodeTag.FEASIBLE, NodeTag.INFEASIBLE, NodeTag.PRUNED)
+
+
+@dataclass
+class BoundChange:
+    """One branching decision: a variable bound tightening."""
+
+    var: int
+    #: "lb" or "ub".
+    kind: str
+    value: float
+    #: The variable's (fractional) LP value at the parent, for pseudocosts.
+    parent_value: float = 0.0
+
+
+@dataclass
+class BBNode:
+    """One node of the tree."""
+
+    node_id: int
+    parent_id: Optional[int]
+    depth: int
+    #: The bound change that created this node (None for the root).
+    change: Optional[BoundChange]
+    tag: NodeTag = NodeTag.ACTIVE
+    #: LP relaxation bound once evaluated (maximization upper bound).
+    lp_bound: float = np.inf
+    #: Variable branched on at this node (set when BRANCHED).
+    branch_var: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+    #: Optimal basis of this node's (pre-cut) LP, for child warm starts.
+    warm_basis: Optional[np.ndarray] = None
+    #: Parent's LP bound, inherited at creation (pre-evaluation prune key).
+    inherited_bound: float = np.inf
+
+
+class BBTree:
+    """Container and bookkeeping for the branch-and-bound tree."""
+
+    def __init__(self, root_problem: LinearProgram):
+        self._root_problem = root_problem
+        self._nodes: Dict[int, BBNode] = {}
+        self._next_id = 0
+        root = BBNode(node_id=self._alloc_id(), parent_id=None, depth=0, change=None)
+        self._nodes[root.node_id] = root
+
+    def _alloc_id(self) -> int:
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    @property
+    def root(self) -> BBNode:
+        """The root node."""
+        return self._nodes[0]
+
+    @property
+    def size(self) -> int:
+        """Total nodes ever created."""
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> BBNode:
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise MIPError(f"unknown node id {node_id}") from None
+
+    def nodes(self) -> Iterator[BBNode]:
+        """All nodes in creation order."""
+        return iter(self._nodes.values())
+
+    def add_child(self, parent_id: int, change: BoundChange) -> BBNode:
+        """Create an ACTIVE child under ``parent_id``."""
+        parent = self.node(parent_id)
+        child = BBNode(
+            node_id=self._alloc_id(),
+            parent_id=parent_id,
+            depth=parent.depth + 1,
+            change=change,
+        )
+        self._nodes[child.node_id] = child
+        parent.children.append(child.node_id)
+        return child
+
+    def path_changes(self, node_id: int) -> List[BoundChange]:
+        """Bound changes along the root→node path (root first)."""
+        changes: List[BoundChange] = []
+        node = self.node(node_id)
+        while node.change is not None:
+            changes.append(node.change)
+            node = self.node(node.parent_id)
+        changes.reverse()
+        return changes
+
+    def node_bounds(self, node_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Effective (lb, ub) at a node, folding the path's tightenings."""
+        lb = self._root_problem.lb.copy()
+        ub = self._root_problem.ub.copy()
+        for change in self.path_changes(node_id):
+            if change.kind == "lb":
+                lb[change.var] = max(lb[change.var], change.value)
+            elif change.kind == "ub":
+                ub[change.var] = min(ub[change.var], change.value)
+            else:
+                raise MIPError(f"unknown bound kind {change.kind!r}")
+        return lb, ub
+
+    def node_problem(self, node_id: int) -> LinearProgram:
+        """The node's LP relaxation (root problem + path bounds)."""
+        lb, ub = self.node_bounds(node_id)
+        base = self._root_problem
+        return LinearProgram(
+            c=base.c,
+            a_ub=base.a_ub,
+            b_ub=base.b_ub,
+            a_eq=base.a_eq,
+            b_eq=base.b_eq,
+            lb=lb,
+            ub=ub,
+        )
+
+    def tree_distance(self, a: int, b: int) -> int:
+        """Edges between two nodes (matrix-reuse locality metric, §5.3)."""
+        ancestors_a = {}
+        node, dist = self.node(a), 0
+        while True:
+            ancestors_a[node.node_id] = dist
+            if node.parent_id is None:
+                break
+            node, dist = self.node(node.parent_id), dist + 1
+        node, dist = self.node(b), 0
+        while node.node_id not in ancestors_a:
+            node, dist = self.node(node.parent_id), dist + 1
+        return dist + ancestors_a[node.node_id]
+
+    def active_leaves(self) -> List[BBNode]:
+        """All nodes still tagged ACTIVE."""
+        return [n for n in self._nodes.values() if n.tag is NodeTag.ACTIVE]
+
+    def tag_counts(self) -> Dict[NodeTag, int]:
+        """Histogram of node tags."""
+        counts = {tag: 0 for tag in NodeTag}
+        for node in self._nodes.values():
+            counts[node.tag] += 1
+        return counts
+
+    def render(self, max_depth: int = 6) -> str:
+        """ASCII rendering of the tree (Figure 1 regeneration)."""
+        lines: List[str] = []
+
+        def visit(node_id: int, prefix: str, is_last: bool) -> None:
+            node = self.node(node_id)
+            if node.depth > max_depth:
+                return
+            connector = "" if node.parent_id is None else ("└─ " if is_last else "├─ ")
+            desc = node.tag.value
+            if node.tag is NodeTag.BRANCHED and node.branch_var is not None:
+                desc += f" on x{node.branch_var}"
+            bound = "" if not np.isfinite(node.lp_bound) else f" bound={node.lp_bound:.4g}"
+            change = ""
+            if node.change is not None:
+                op = "≥" if node.change.kind == "lb" else "≤"
+                change = f" [x{node.change.var} {op} {node.change.value:g}]"
+            lines.append(f"{prefix}{connector}n{node.node_id}{change}: {desc}{bound}")
+            child_prefix = prefix + ("" if node.parent_id is None else ("   " if is_last else "│  "))
+            for i, child in enumerate(node.children):
+                visit(child, child_prefix, i == len(node.children) - 1)
+
+        visit(0, "", True)
+        return "\n".join(lines)

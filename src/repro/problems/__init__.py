@@ -1,0 +1,53 @@
+"""Seeded instance generators and MPS I/O.
+
+Stand-ins for the MIPLIB instances the paper references (§2.3, §3):
+every generator is deterministic in its seed and parameterized by size,
+so experiments scale smoothly from unit-test to benchmark size.
+
+- :mod:`repro.problems.knapsack` — 0/1 knapsack (+ exact DP oracle).
+- :mod:`repro.problems.setcover` — set covering.
+- :mod:`repro.problems.assignment` — (generalized) assignment.
+- :mod:`repro.problems.facility` — uncapacitated facility location.
+- :mod:`repro.problems.unit_commitment` — unit commitment (a true
+  *mixed* integer program; the paper cites it as a flagship MIP use).
+- :mod:`repro.problems.flowshop` — permutation flow-shop (the IVM/GPU
+  B&B workload of Gmys et al. and the multi-GPU works the paper cites).
+- :mod:`repro.problems.random_mip` — random dense/sparse MIPs with a
+  planted feasible point and controllable density (the §5.4 sweep).
+- :mod:`repro.problems.mps` — fixed-format MPS read/write.
+- :mod:`repro.problems.miplib` — the registry ("mini-MIPLIB").
+"""
+
+from repro.problems.knapsack import generate_knapsack, knapsack_dp_optimal
+from repro.problems.setcover import generate_set_cover
+from repro.problems.assignment import generate_assignment, generate_generalized_assignment
+from repro.problems.facility import generate_facility_location
+from repro.problems.unit_commitment import generate_unit_commitment
+from repro.problems.flowshop import FlowShop, generate_flowshop
+from repro.problems.random_mip import generate_random_mip
+from repro.problems.mps import read_mps, write_mps
+from repro.problems.tsp import generate_tsp, tour_from_solution
+from repro.problems.binpacking import generate_bin_packing
+from repro.problems.multiknapsack import generate_multiknapsack
+from repro.problems.miplib import MINI_MIPLIB, instance_by_name
+
+__all__ = [
+    "generate_knapsack",
+    "knapsack_dp_optimal",
+    "generate_set_cover",
+    "generate_assignment",
+    "generate_generalized_assignment",
+    "generate_facility_location",
+    "generate_unit_commitment",
+    "FlowShop",
+    "generate_flowshop",
+    "generate_random_mip",
+    "read_mps",
+    "write_mps",
+    "generate_tsp",
+    "tour_from_solution",
+    "generate_bin_packing",
+    "generate_multiknapsack",
+    "MINI_MIPLIB",
+    "instance_by_name",
+]

@@ -1,0 +1,88 @@
+"""Assignment and generalized assignment instances.
+
+The pure assignment problem has an integral LP relaxation (its matrix
+is totally unimodular), so it exercises the "solved at the root" path;
+the *generalized* assignment problem adds agent capacities and is
+NP-hard, giving branch-and-bound real work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+
+
+def generate_assignment(size: int, seed: int = 0) -> MIPProblem:
+    """size×size assignment: maximize total profit, one job per agent.
+
+    Variables x[a, j] flattened row-major.  Equality rows force one job
+    per agent and one agent per job.
+    """
+    if size < 1:
+        raise ProblemFormatError("assignment needs size >= 1")
+    rng = np.random.default_rng(seed)
+    profit = rng.integers(1, 50, size=(size, size)).astype(np.float64)
+    n = size * size
+    a_eq = np.zeros((2 * size, n))
+    for a in range(size):
+        a_eq[a, a * size : (a + 1) * size] = 1.0  # agent a does one job
+    for j in range(size):
+        a_eq[size + j, j::size] = 1.0  # job j done once
+    return MIPProblem(
+        c=profit.ravel(),
+        integer=np.ones(n, dtype=bool),
+        a_eq=a_eq,
+        b_eq=np.ones(2 * size),
+        lb=np.zeros(n),
+        ub=np.ones(n),
+        name=f"assignment-{size}-{seed}",
+    )
+
+
+def generate_generalized_assignment(
+    num_agents: int, num_jobs: int, seed: int = 0, tightness: float = 0.8
+) -> MIPProblem:
+    """Generalized assignment: jobs to capacity-limited agents.
+
+    Every job must be assigned to exactly one agent (equality rows);
+    each agent's total resource usage is capped (inequality rows).
+    ``tightness`` scales capacities (smaller → harder).
+    """
+    if num_agents < 2 or num_jobs < 2:
+        raise ProblemFormatError("GAP needs >= 2 agents and >= 2 jobs")
+    rng = np.random.default_rng(seed)
+    profit = rng.integers(5, 30, size=(num_agents, num_jobs)).astype(np.float64)
+    usage = rng.integers(1, 20, size=(num_agents, num_jobs)).astype(np.float64)
+    # Plant a feasible assignment and size capacities to cover it, so the
+    # instance is feasible by construction; tightness adds headroom.
+    planted = rng.integers(0, num_agents, size=num_jobs)
+    needed = np.zeros(num_agents)
+    for j, a in enumerate(planted):
+        needed[a] += usage[a, j]
+    capacity = np.ceil(needed + tightness * usage.mean() * num_jobs / num_agents)
+
+    n = num_agents * num_jobs
+
+    def var(a: int, j: int) -> int:
+        return a * num_jobs + j
+
+    a_eq = np.zeros((num_jobs, n))
+    for j in range(num_jobs):
+        for a in range(num_agents):
+            a_eq[j, var(a, j)] = 1.0
+    a_ub = np.zeros((num_agents, n))
+    for a in range(num_agents):
+        a_ub[a, a * num_jobs : (a + 1) * num_jobs] = usage[a]
+    return MIPProblem(
+        c=profit.ravel(),
+        integer=np.ones(n, dtype=bool),
+        a_ub=a_ub,
+        b_ub=capacity.astype(np.float64),
+        a_eq=a_eq,
+        b_eq=np.ones(num_jobs),
+        lb=np.zeros(n),
+        ub=np.ones(n),
+        name=f"gap-{num_agents}x{num_jobs}-{seed}",
+    )

@@ -1,0 +1,77 @@
+"""Bin packing instances.
+
+Minimize the number of bins used to pack all items (classic set of
+assignment + linking rows).  Symmetric and LP-weak — the workload where
+branching rules and heuristics earn their keep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+
+
+def generate_bin_packing(
+    num_items: int, num_bins: int, seed: int = 0, capacity: float = 100.0
+) -> MIPProblem:
+    """Random bin packing: items sized U(20, 60), bins of ``capacity``.
+
+    Variables: y_b (bin used) then x[i, b] (item i in bin b), flattened
+    item-major.  Rows: each item packed once (equality); per-bin
+    capacity with linking (Σ_i s_i x[i,b] ≤ C y_b).
+    """
+    if num_items < 1 or num_bins < 1:
+        raise ProblemFormatError("bin packing needs >= 1 item and >= 1 bin")
+    rng = np.random.default_rng(seed)
+    sizes = rng.uniform(20.0, 60.0, size=num_items).round()
+    if sizes.max() > capacity:
+        raise ProblemFormatError("an item exceeds the bin capacity")
+
+    ny = num_bins
+    nx = num_items * num_bins
+    n = ny + nx
+
+    def x_var(i: int, b: int) -> int:
+        return ny + i * num_bins + b
+
+    a_eq = np.zeros((num_items, n))
+    for i in range(num_items):
+        for b in range(num_bins):
+            a_eq[i, x_var(i, b)] = 1.0
+    a_ub = np.zeros((num_bins, n))
+    for b in range(num_bins):
+        a_ub[b, b] = -capacity
+        for i in range(num_items):
+            a_ub[b, x_var(i, b)] = sizes[i]
+
+    c = np.zeros(n)
+    c[:ny] = -1.0  # maximize -(bins used)
+    # Mild symmetry breaking: later bins cost epsilon more.
+    c[:ny] -= np.arange(ny) * 1e-4
+
+    return MIPProblem(
+        c=c,
+        integer=np.ones(n, dtype=bool),
+        a_ub=a_ub,
+        b_ub=np.zeros(num_bins),
+        a_eq=a_eq,
+        b_eq=np.ones(num_items),
+        lb=np.zeros(n),
+        ub=np.ones(n),
+        name=f"binpack-{num_items}x{num_bins}-{seed}",
+    )
+
+
+def first_fit_decreasing_bins(problem_sizes: np.ndarray, capacity: float) -> int:
+    """FFD heuristic bin count — an upper-bound oracle for tests."""
+    bins: list = []
+    for size in sorted(problem_sizes, reverse=True):
+        for k in range(len(bins)):
+            if bins[k] + size <= capacity + 1e-9:
+                bins[k] += size
+                break
+        else:
+            bins.append(size)
+    return len(bins)

@@ -1,0 +1,66 @@
+"""Uncapacitated facility location instances.
+
+Open facilities (fixed cost) and serve every client from an open one
+(service cost).  Classic branch-and-bound workload with a mix of strong
+LP relaxations and fractional openings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+
+
+def generate_facility_location(
+    num_facilities: int, num_clients: int, seed: int = 0
+) -> MIPProblem:
+    """Minimize open + service cost (expressed as maximizing the negation).
+
+    Variables: y_f (open facility f) then x[f, c] (serve c from f),
+    flattened row-major after the y block.  Rows: each client served
+    exactly once (equality); x[f, c] ≤ y_f linking rows (inequality).
+    """
+    if num_facilities < 2 or num_clients < 1:
+        raise ProblemFormatError("UFL needs >= 2 facilities, >= 1 client")
+    rng = np.random.default_rng(seed)
+    open_cost = rng.integers(20, 60, size=num_facilities).astype(np.float64)
+    # Euclidean-ish service costs from random plane positions.
+    fpos = rng.random((num_facilities, 2)) * 10
+    cpos = rng.random((num_clients, 2)) * 10
+    service = np.linalg.norm(fpos[:, None, :] - cpos[None, :, :], axis=2)
+    service = np.round(service * 3 + 1)
+
+    ny = num_facilities
+    nx = num_facilities * num_clients
+    n = ny + nx
+
+    def xvar(f: int, c: int) -> int:
+        return ny + f * num_clients + c
+
+    a_eq = np.zeros((num_clients, n))
+    for c in range(num_clients):
+        for f in range(num_facilities):
+            a_eq[c, xvar(f, c)] = 1.0
+    a_ub = np.zeros((nx, n))
+    row = 0
+    for f in range(num_facilities):
+        for c in range(num_clients):
+            a_ub[row, xvar(f, c)] = 1.0
+            a_ub[row, f] = -1.0  # x_{fc} - y_f <= 0
+            row += 1
+    cost = np.concatenate([open_cost, service.ravel()])
+    return MIPProblem(
+        c=-cost,
+        integer=np.concatenate(
+            [np.ones(ny, dtype=bool), np.zeros(nx, dtype=bool)]
+        ),
+        a_ub=a_ub,
+        b_ub=np.zeros(nx),
+        a_eq=a_eq,
+        b_eq=np.ones(num_clients),
+        lb=np.zeros(n),
+        ub=np.ones(n),
+        name=f"ufl-{num_facilities}x{num_clients}-{seed}",
+    )

@@ -1,0 +1,88 @@
+"""0/1 knapsack instances and an exact dynamic-programming oracle.
+
+The knapsack problem is the first GPU branch-and-bound target the paper
+cites ([19], Lalami et al.); it is also the canonical small-matrix LP
+relaxation for the §5.5 batched-solve experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+
+
+def generate_knapsack(
+    num_items: int,
+    seed: int = 0,
+    correlation: str = "uncorrelated",
+    capacity_ratio: float = 0.5,
+) -> MIPProblem:
+    """Random 0/1 knapsack: maximize value within one weight budget.
+
+    ``correlation`` controls value/weight coupling ("uncorrelated",
+    "weak", "strong" — strong correlation makes instances hard);
+    capacity is ``capacity_ratio`` of the total weight.
+    """
+    if num_items < 1:
+        raise ProblemFormatError("knapsack needs at least 1 item")
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(1, 100, size=num_items).astype(np.float64)
+    if correlation == "uncorrelated":
+        values = rng.integers(1, 100, size=num_items).astype(np.float64)
+    elif correlation == "weak":
+        values = weights + rng.integers(-10, 11, size=num_items)
+        values = np.maximum(values, 1.0)
+    elif correlation == "strong":
+        values = weights + 10.0
+    else:
+        raise ProblemFormatError(f"unknown correlation {correlation!r}")
+    capacity = float(np.floor(capacity_ratio * weights.sum()))
+    return MIPProblem(
+        c=values,
+        integer=np.ones(num_items, dtype=bool),
+        a_ub=weights[None, :],
+        b_ub=np.array([capacity]),
+        lb=np.zeros(num_items),
+        ub=np.ones(num_items),
+        name=f"knapsack-{num_items}-{seed}-{correlation}",
+    )
+
+
+def knapsack_dp_optimal(problem: MIPProblem) -> Tuple[float, np.ndarray]:
+    """Exact optimum by dynamic programming over integer weights.
+
+    Oracle for tests/benchmarks; requires a single ≤-row with integer
+    coefficients (the shape :func:`generate_knapsack` produces).
+    """
+    if problem.a_ub is None or problem.a_ub.shape[0] != 1:
+        raise ProblemFormatError("DP oracle needs exactly one knapsack row")
+    weights = problem.a_ub[0]
+    if np.any(np.abs(weights - np.round(weights)) > 1e-9):
+        raise ProblemFormatError("DP oracle needs integer weights")
+    weights = np.round(weights).astype(np.int64)
+    capacity = int(np.floor(problem.b_ub[0] + 1e-9))
+    values = problem.c
+    n = problem.n
+
+    table = np.zeros(capacity + 1)
+    keep = np.zeros((n, capacity + 1), dtype=bool)
+    for i in range(n):
+        w, v = int(weights[i]), float(values[i])
+        if w <= capacity:
+            candidate = table[: capacity - w + 1] + v
+            improved = candidate > table[w:]
+            keep[i, w:] = improved
+            table[w:] = np.where(improved, candidate, table[w:])
+    best = float(table[capacity])
+
+    x = np.zeros(n)
+    remaining = capacity
+    for i in range(n - 1, -1, -1):
+        if keep[i, remaining]:
+            x[i] = 1.0
+            remaining -= int(weights[i])
+    return best, x

@@ -1,0 +1,49 @@
+"""The mini-MIPLIB registry: named, seeded, sized instances.
+
+MIPLIB itself cannot be shipped (size/licensing); this registry plays
+its role for every experiment — a fixed set of named instances spanning
+the structural classes the paper discusses (binary knapsacks, covers,
+assignment, facility location, true mixed unit commitment, and random
+dense/sparse matrices).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+from repro.problems.assignment import generate_assignment, generate_generalized_assignment
+from repro.problems.facility import generate_facility_location
+from repro.problems.knapsack import generate_knapsack
+from repro.problems.multiknapsack import generate_multiknapsack
+from repro.problems.random_mip import generate_random_mip
+from repro.problems.setcover import generate_set_cover
+from repro.problems.unit_commitment import generate_unit_commitment
+
+#: name -> zero-argument constructor.
+MINI_MIPLIB: Dict[str, Callable[[], MIPProblem]] = {
+    "knap-20": lambda: generate_knapsack(20, seed=1),
+    "knap-40-strong": lambda: generate_knapsack(40, seed=2, correlation="strong"),
+    "cover-15x30": lambda: generate_set_cover(15, 30, seed=3),
+    "cover-25x60": lambda: generate_set_cover(25, 60, seed=4),
+    "assign-5": lambda: generate_assignment(5, seed=5),
+    "gap-3x8": lambda: generate_generalized_assignment(3, 8, seed=6),
+    "gap-4x12": lambda: generate_generalized_assignment(4, 12, seed=7),
+    "ufl-4x10": lambda: generate_facility_location(4, 10, seed=8),
+    "uc-3x4": lambda: generate_unit_commitment(3, 4, seed=9),
+    "uc-4x6": lambda: generate_unit_commitment(4, 6, seed=10),
+    "rand-dense-12": lambda: generate_random_mip(12, 8, seed=11, density=1.0),
+    "rand-sparse-16": lambda: generate_random_mip(16, 10, seed=12, density=0.2),
+    "mkp-12x4": lambda: generate_multiknapsack(12, 4, seed=13),
+}
+
+
+def instance_by_name(name: str) -> MIPProblem:
+    """Construct a registered instance."""
+    try:
+        return MINI_MIPLIB[name]()
+    except KeyError:
+        raise ProblemFormatError(
+            f"unknown instance {name!r}; available: {sorted(MINI_MIPLIB)}"
+        ) from None

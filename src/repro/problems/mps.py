@@ -1,0 +1,271 @@
+"""MPS file reader/writer for :class:`MIPProblem`.
+
+Free-format MPS with the standard sections (NAME, OBJSENSE, ROWS,
+COLUMNS with INTORG/INTEND markers, RHS, BOUNDS, ENDATA).  This is the
+interchange format every MIPLIB instance ships in; supporting it makes
+the library a drop-in consumer of real instance collections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TextIO, Union
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+
+
+def write_mps(problem: MIPProblem, target: Union[str, TextIO]) -> None:
+    """Serialize a problem to MPS (maximization via OBJSENSE MAX)."""
+    own = isinstance(target, str)
+    out = open(target, "w") if own else target
+    try:
+        _write(problem, out)
+    finally:
+        if own:
+            out.close()
+
+
+def _write(problem: MIPProblem, out: TextIO) -> None:
+    out.write(f"NAME          {problem.name}\n")
+    out.write("OBJSENSE\n    MAX\n")
+    out.write("ROWS\n")
+    out.write(" N  OBJ\n")
+    num_ub = 0 if problem.a_ub is None else problem.a_ub.shape[0]
+    num_eq = 0 if problem.a_eq is None else problem.a_eq.shape[0]
+    for i in range(num_ub):
+        out.write(f" L  R{i}\n")
+    for i in range(num_eq):
+        out.write(f" E  E{i}\n")
+
+    out.write("COLUMNS\n")
+    marker_open = False
+    for j in range(problem.n):
+        is_int = bool(problem.integer[j])
+        if is_int and not marker_open:
+            out.write("    MARKER                 'MARKER'                 'INTORG'\n")
+            marker_open = True
+        elif not is_int and marker_open:
+            out.write("    MARKER                 'MARKER'                 'INTEND'\n")
+            marker_open = False
+        name = f"X{j}"
+        entries: List[str] = []
+        if problem.c[j] != 0.0:
+            entries.append(f"OBJ {float(problem.c[j])!r}")
+        for i in range(num_ub):
+            v = problem.a_ub[i, j]
+            if v != 0.0:
+                entries.append(f"R{i} {float(v)!r}")
+        for i in range(num_eq):
+            v = problem.a_eq[i, j]
+            if v != 0.0:
+                entries.append(f"E{i} {float(v)!r}")
+        if not entries:
+            entries.append("OBJ 0.0")
+        for entry in entries:
+            row, value = entry.split(" ", 1)
+            out.write(f"    {name:<10}{row:<10}{value}\n")
+    if marker_open:
+        out.write("    MARKER                 'MARKER'                 'INTEND'\n")
+
+    out.write("RHS\n")
+    for i in range(num_ub):
+        if problem.b_ub[i] != 0.0:
+            out.write(f"    RHS       R{i:<9}{float(problem.b_ub[i])!r}\n")
+    for i in range(num_eq):
+        if problem.b_eq[i] != 0.0:
+            out.write(f"    RHS       E{i:<9}{float(problem.b_eq[i])!r}\n")
+
+    out.write("BOUNDS\n")
+    for j in range(problem.n):
+        name = f"X{j}"
+        lo, hi = problem.lb[j], problem.ub[j]
+        if np.isfinite(lo) and np.isfinite(hi) and lo == hi:
+            out.write(f" FX BND       {name:<10}{float(lo)!r}\n")
+            continue
+        if not np.isfinite(lo):
+            out.write(f" MI BND       {name}\n")
+        elif lo != 0.0:
+            out.write(f" LO BND       {name:<10}{float(lo)!r}\n")
+        if np.isfinite(hi):
+            out.write(f" UP BND       {name:<10}{float(hi)!r}\n")
+    out.write("ENDATA\n")
+
+
+def read_mps(source: Union[str, TextIO]) -> MIPProblem:
+    """Parse a free-format MPS file into a :class:`MIPProblem`."""
+    own = isinstance(source, str)
+    handle = open(source) if own else source
+    try:
+        return _read(handle)
+    finally:
+        if own:
+            handle.close()
+
+
+def _read(handle: TextIO) -> MIPProblem:
+    name = "mps"
+    maximize = False
+    section = None
+    row_kinds: Dict[str, str] = {}
+    row_order_l: List[str] = []
+    row_order_e: List[str] = []
+    row_order_g: List[str] = []
+    obj_row = None
+    col_names: List[str] = []
+    col_index: Dict[str, int] = {}
+    col_integer: List[bool] = []
+    entries: List = []  # (col, row, value)
+    rhs: Dict[str, float] = {}
+    bounds: List = []  # (kind, col, value or None)
+    in_integer_block = False
+    expect_objsense_value = False
+
+    for raw in handle:
+        line = raw.rstrip("\n")
+        if not line.strip() or line.lstrip().startswith("*"):
+            continue
+        if not line[0].isspace():
+            tokens = line.split()
+            keyword = tokens[0].upper()
+            if keyword == "NAME":
+                name = tokens[1] if len(tokens) > 1 else "mps"
+                section = "NAME"
+            elif keyword in (
+                "OBJSENSE",
+                "ROWS",
+                "COLUMNS",
+                "RHS",
+                "RANGES",
+                "BOUNDS",
+                "ENDATA",
+            ):
+                section = keyword
+                expect_objsense_value = keyword == "OBJSENSE"
+                if len(tokens) > 1 and keyword == "OBJSENSE":
+                    maximize = tokens[1].upper().startswith("MAX")
+                    expect_objsense_value = False
+                if keyword == "ENDATA":
+                    break
+            else:
+                raise ProblemFormatError(f"unknown MPS section {keyword!r}")
+            continue
+
+        tokens = line.split()
+        if expect_objsense_value:
+            maximize = tokens[0].upper().startswith("MAX")
+            expect_objsense_value = False
+            continue
+        if section == "ROWS":
+            kind, row_name = tokens[0].upper(), tokens[1]
+            if kind == "N":
+                if obj_row is None:
+                    obj_row = row_name
+            elif kind == "L":
+                row_kinds[row_name] = "L"
+                row_order_l.append(row_name)
+            elif kind == "G":
+                row_kinds[row_name] = "G"
+                row_order_g.append(row_name)
+            elif kind == "E":
+                row_kinds[row_name] = "E"
+                row_order_e.append(row_name)
+            else:
+                raise ProblemFormatError(f"unknown row kind {kind!r}")
+        elif section == "COLUMNS":
+            if len(tokens) >= 3 and tokens[1].strip("'") == "MARKER":
+                marker = tokens[-1].strip("'").upper()
+                in_integer_block = marker == "INTORG"
+                continue
+            col = tokens[0]
+            if col not in col_index:
+                col_index[col] = len(col_names)
+                col_names.append(col)
+                col_integer.append(in_integer_block)
+            pairs = tokens[1:]
+            if len(pairs) % 2:
+                raise ProblemFormatError(f"odd COLUMNS record: {line!r}")
+            for k in range(0, len(pairs), 2):
+                entries.append((col, pairs[k], float(pairs[k + 1])))
+        elif section == "RHS":
+            pairs = tokens[1:]
+            if len(pairs) % 2:
+                raise ProblemFormatError(f"odd RHS record: {line!r}")
+            for k in range(0, len(pairs), 2):
+                rhs[pairs[k]] = float(pairs[k + 1])
+        elif section == "BOUNDS":
+            kind = tokens[0].upper()
+            col = tokens[2]
+            value = float(tokens[3]) if len(tokens) > 3 else None
+            bounds.append((kind, col, value))
+        elif section == "RANGES":
+            raise ProblemFormatError("RANGES section is not supported")
+
+    n = len(col_names)
+    if n == 0:
+        raise ProblemFormatError("MPS file defines no columns")
+
+    # G-rows become negated L-rows.
+    ub_rows = row_order_l + row_order_g
+    num_ub = len(ub_rows)
+    num_eq = len(row_order_e)
+    ub_index = {r: i for i, r in enumerate(ub_rows)}
+    eq_index = {r: i for i, r in enumerate(row_order_e)}
+
+    c = np.zeros(n)
+    a_ub = np.zeros((num_ub, n)) if num_ub else None
+    a_eq = np.zeros((num_eq, n)) if num_eq else None
+    for col, row, value in entries:
+        j = col_index[col]
+        if row == obj_row:
+            c[j] = value
+        elif row in ub_index:
+            sign = -1.0 if row_kinds[row] == "G" else 1.0
+            a_ub[ub_index[row], j] = sign * value
+        elif row in eq_index:
+            a_eq[eq_index[row], j] = value
+        else:
+            raise ProblemFormatError(f"entry references unknown row {row!r}")
+
+    b_ub = np.zeros(num_ub) if num_ub else None
+    for row, i in ub_index.items():
+        sign = -1.0 if row_kinds[row] == "G" else 1.0
+        b_ub[i] = sign * rhs.get(row, 0.0)
+    b_eq = np.zeros(num_eq) if num_eq else None
+    for row, i in eq_index.items():
+        b_eq[i] = rhs.get(row, 0.0)
+
+    lb = np.zeros(n)
+    ub = np.full(n, np.inf)
+    for kind, col, value in bounds:
+        j = col_index[col]
+        if kind == "UP":
+            ub[j] = value
+        elif kind == "LO":
+            lb[j] = value
+        elif kind == "FX":
+            lb[j] = ub[j] = value
+        elif kind == "MI":
+            lb[j] = -np.inf
+        elif kind == "BV":
+            lb[j], ub[j] = 0.0, 1.0
+        elif kind == "PL":
+            ub[j] = np.inf
+        else:
+            raise ProblemFormatError(f"unsupported bound kind {kind!r}")
+
+    if not maximize:
+        c = -c  # library convention is maximization
+
+    return MIPProblem(
+        c=c,
+        integer=np.array(col_integer, dtype=bool),
+        a_ub=a_ub,
+        b_ub=b_ub,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        lb=lb,
+        ub=ub,
+        name=name,
+    )

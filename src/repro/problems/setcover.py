@@ -1,0 +1,49 @@
+"""Set covering instances.
+
+Minimize the total cost of chosen sets so every element is covered.
+Expressed in the library's maximization convention as maximizing the
+negated cost; covering rows are ``−Σ_{j covers e} x_j ≤ −1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+
+
+def generate_set_cover(
+    num_elements: int,
+    num_sets: int,
+    density: float = 0.3,
+    seed: int = 0,
+) -> MIPProblem:
+    """Random set-cover with guaranteed feasibility.
+
+    Each (element, set) membership appears with probability ``density``;
+    every element is forced into at least two sets so the instance is
+    feasible and non-trivial.  Costs are uniform in [1, 20].
+    """
+    if num_elements < 1 or num_sets < 2:
+        raise ProblemFormatError("set cover needs >=1 element and >=2 sets")
+    rng = np.random.default_rng(seed)
+    membership = rng.random((num_elements, num_sets)) < density
+    for e in range(num_elements):
+        covered = np.nonzero(membership[e])[0]
+        while covered.size < 2:
+            membership[e, rng.integers(0, num_sets)] = True
+            covered = np.nonzero(membership[e])[0]
+    costs = rng.integers(1, 21, size=num_sets).astype(np.float64)
+    # Coverage: sum_{j in S_e} x_j >= 1  ->  -sum x_j <= -1.
+    a_ub = -membership.astype(np.float64)
+    b_ub = -np.ones(num_elements)
+    return MIPProblem(
+        c=-costs,  # maximize negated cost == minimize cost
+        integer=np.ones(num_sets, dtype=bool),
+        a_ub=a_ub,
+        b_ub=b_ub,
+        lb=np.zeros(num_sets),
+        ub=np.ones(num_sets),
+        name=f"setcover-{num_elements}x{num_sets}-{seed}",
+    )

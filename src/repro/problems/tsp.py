@@ -1,0 +1,122 @@
+"""Traveling salesman instances (Miller–Tucker–Zemlin formulation).
+
+A compact MIP formulation of the asymmetric TSP: binary arc variables
+x[i,j] with degree-constraint equalities and MTZ order variables u_i
+(continuous) eliminating subtours:
+
+    u_i − u_j + n·x[i,j] ≤ n − 1     for i, j ≥ 1, i ≠ j
+
+Small and notoriously weak LP relaxation — a good stress case for the
+branch-and-cut stack, and a true *mixed* program (continuous u).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+
+
+def generate_tsp(num_cities: int, seed: int = 0) -> MIPProblem:
+    """Random planar asymmetric TSP of ``num_cities`` cities (MTZ)."""
+    if num_cities < 3:
+        raise ProblemFormatError("TSP needs at least 3 cities")
+    rng = np.random.default_rng(seed)
+    pos = rng.random((num_cities, 2)) * 100.0
+    dist = np.linalg.norm(pos[:, None, :] - pos[None, :, :], axis=2)
+    dist = np.round(dist + rng.random((num_cities, num_cities)) * 2.0)
+    np.fill_diagonal(dist, 0.0)
+
+    n = num_cities
+    arcs: List[Tuple[int, int]] = [
+        (i, j) for i in range(n) for j in range(n) if i != j
+    ]
+    arc_index = {arc: k for k, arc in enumerate(arcs)}
+    num_arcs = len(arcs)
+    num_u = n - 1  # u_1 .. u_{n-1}; city 0 is the depot
+    total = num_arcs + num_u
+
+    def u_var(i: int) -> int:
+        return num_arcs + (i - 1)
+
+    a_eq = np.zeros((2 * n, total))
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            a_eq[i, arc_index[(i, j)]] = 1.0  # out-degree of i
+            a_eq[n + j, arc_index[(i, j)]] = 1.0  # in-degree of j
+    b_eq = np.ones(2 * n)
+
+    mtz_rows = []
+    mtz_rhs = []
+    for i in range(1, n):
+        for j in range(1, n):
+            if i == j:
+                continue
+            row = np.zeros(total)
+            row[u_var(i)] = 1.0
+            row[u_var(j)] = -1.0
+            row[arc_index[(i, j)]] = float(n)
+            mtz_rows.append(row)
+            mtz_rhs.append(float(n - 1))
+
+    c = np.zeros(total)
+    for (i, j), k in arc_index.items():
+        c[k] = -dist[i, j]  # maximize negated tour length
+
+    integer = np.zeros(total, dtype=bool)
+    integer[:num_arcs] = True
+    lb = np.zeros(total)
+    ub = np.ones(total)
+    lb[num_arcs:] = 1.0
+    ub[num_arcs:] = float(n - 1)
+
+    return MIPProblem(
+        c=c,
+        integer=integer,
+        a_ub=np.vstack(mtz_rows),
+        b_ub=np.array(mtz_rhs),
+        a_eq=a_eq,
+        b_eq=b_eq,
+        lb=lb,
+        ub=ub,
+        name=f"tsp-{n}-{seed}",
+    )
+
+
+def tour_from_solution(problem: MIPProblem, x: np.ndarray, num_cities: int) -> List[int]:
+    """Extract the city order from a solved arc vector."""
+    n = num_cities
+    succ = {}
+    k = 0
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if x[k] > 0.5:
+                succ[i] = j
+            k += 1
+    tour = [0]
+    while len(tour) < n:
+        nxt = succ.get(tour[-1])
+        if nxt is None or nxt in tour:
+            raise ProblemFormatError("solution does not encode a tour")
+        tour.append(nxt)
+    return tour
+
+
+def tour_length(num_cities: int, seed: int, tour: List[int]) -> float:
+    """Length of a tour under the same seeded distance matrix."""
+    rng = np.random.default_rng(seed)
+    pos = rng.random((num_cities, 2)) * 100.0
+    dist = np.linalg.norm(pos[:, None, :] - pos[None, :, :], axis=2)
+    dist = np.round(dist + rng.random((num_cities, num_cities)) * 2.0)
+    np.fill_diagonal(dist, 0.0)
+    total = 0.0
+    for a, b in zip(tour, tour[1:] + [tour[0]]):
+        total += dist[a, b]
+    return float(total)

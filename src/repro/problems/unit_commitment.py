@@ -1,0 +1,92 @@
+"""Unit commitment instances — a true *mixed* integer program.
+
+The paper's introduction cites unit commitment ([26], Ostrowski et al.)
+as a flagship MIP application.  This compact formulation has binary
+on/off decisions and continuous dispatch levels:
+
+    minimize   Σ_t Σ_g (fixed_g u[g,t] + var_g p[g,t])
+    s.t.       Σ_g p[g,t]  ≥ demand_t                (meet demand)
+               pmin_g u[g,t] ≤ p[g,t] ≤ pmax_g u[g,t] (dispatch window)
+               u binary, p continuous
+
+expressed in the library's maximization convention (negated costs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+
+
+def generate_unit_commitment(
+    num_generators: int, num_periods: int, seed: int = 0
+) -> MIPProblem:
+    """Random feasible unit-commitment instance.
+
+    Variables: u[g, t] (binary block first, flattened row-major), then
+    p[g, t] (continuous block).  Demand is drawn so the fleet can always
+    meet it.
+    """
+    if num_generators < 2 or num_periods < 1:
+        raise ProblemFormatError("UC needs >= 2 generators, >= 1 period")
+    rng = np.random.default_rng(seed)
+    pmax = rng.integers(50, 150, size=num_generators).astype(np.float64)
+    pmin = np.ceil(pmax * rng.uniform(0.2, 0.4, size=num_generators))
+    fixed_cost = rng.integers(100, 300, size=num_generators).astype(np.float64)
+    var_cost = rng.integers(5, 25, size=num_generators).astype(np.float64)
+    demand = rng.uniform(0.4, 0.8, size=num_periods) * pmax.sum()
+    demand = np.floor(demand)
+
+    g, t = num_generators, num_periods
+    nu = g * t
+    n = 2 * nu
+
+    def u_var(gi: int, ti: int) -> int:
+        return gi * t + ti
+
+    def p_var(gi: int, ti: int) -> int:
+        return nu + gi * t + ti
+
+    rows = []
+    rhs = []
+    # Demand rows: -sum_g p[g,t] <= -demand_t.
+    for ti in range(t):
+        row = np.zeros(n)
+        for gi in range(g):
+            row[p_var(gi, ti)] = -1.0
+        rows.append(row)
+        rhs.append(-demand[ti])
+    # Dispatch windows: p - pmax*u <= 0 and pmin*u - p <= 0.
+    for gi in range(g):
+        for ti in range(t):
+            upper = np.zeros(n)
+            upper[p_var(gi, ti)] = 1.0
+            upper[u_var(gi, ti)] = -pmax[gi]
+            rows.append(upper)
+            rhs.append(0.0)
+            lower = np.zeros(n)
+            lower[u_var(gi, ti)] = pmin[gi]
+            lower[p_var(gi, ti)] = -1.0
+            rows.append(lower)
+            rhs.append(0.0)
+
+    cost = np.zeros(n)
+    for gi in range(g):
+        for ti in range(t):
+            cost[u_var(gi, ti)] = fixed_cost[gi]
+            cost[p_var(gi, ti)] = var_cost[gi]
+
+    integer = np.zeros(n, dtype=bool)
+    integer[:nu] = True
+    ub = np.concatenate([np.ones(nu), np.repeat(pmax, t)])
+    return MIPProblem(
+        c=-cost,
+        integer=integer,
+        a_ub=np.vstack(rows),
+        b_ub=np.array(rhs),
+        lb=np.zeros(n),
+        ub=ub,
+        name=f"uc-{g}x{t}-{seed}",
+    )

@@ -1,0 +1,107 @@
+"""Plain-text table/series rendering for experiment reports.
+
+Every benchmark prints its rows through these helpers so EXPERIMENTS.md
+and the bench output share one format.  No plotting dependencies — the
+"figures" are rendered as aligned series tables plus an ASCII sparkline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_value(value) -> str:
+    """Compact human-readable cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_seconds(seconds: float) -> str:
+    """Engineering-style time formatting."""
+    if seconds <= 0:
+        return "0"
+    for unit, scale in (("s", 1.0), ("ms", 1e-3), ("µs", 1e-6), ("ns", 1e-9)):
+        if seconds >= scale:
+            return f"{seconds / scale:.3g} {unit}"
+    return f"{seconds:.3g} s"
+
+
+def format_bytes(nbytes: int) -> str:
+    """Binary-prefixed byte counts."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            return f"{value:.3g} {unit}"
+        value /= 1024
+    return f"{value:.3g} TiB"  # pragma: no cover - loop always returns
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    str_rows: List[List[str]] = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[Number]) -> str:
+    """One-line unicode sparkline of a series."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_CHARS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence,
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+) -> str:
+    """A "figure": x column + one column per (name, values) series,
+    followed by per-series sparklines."""
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for _, values in series])
+    table = render_table(headers, rows, title=title)
+    sparks = "\n".join(
+        f"  {name:>20}: {sparkline(values)}" for name, values in series
+    )
+    return f"{table}\n{sparks}"

@@ -1,0 +1,182 @@
+"""Strategy 4: Big-MIP execution (§3.4).
+
+"The matrix sizes can be so large that it is not possible to store the
+entire matrix on a single node … each LP relaxation itself operates as a
+parallel matrix operation that spans multiple nodes in a distributed
+manner.  One processor acts as the orchestrator of the serial
+branch-and-cut algorithm, but each linear program relaxation is executed
+as a parallel job."
+
+The engine shards the constraint matrix column-wise across ``k``
+devices.  Every simplex operation becomes: the sharded kernel on each
+device (they advance in lockstep; the slowest shard gates) plus an
+allreduce across the group (2·log₂k messages) — the communication tax
+that makes Big-MIP worthwhile *only* when the matrix genuinely exceeds a
+single device's memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.comm.network import SUMMIT_FAT_TREE, NetworkSpec
+from repro.device import kernels as K
+from repro.device.gpu import Device
+from repro.device.spec import NVLINK, V100, DeviceSpec, LinkSpec
+from repro.errors import DeviceError
+from repro.lp.problem import StandardFormLP
+from repro.lp.result import LPResult
+from repro.lp.simplex import CostHook, SimplexOptions
+from repro.mip.problem import MIPProblem
+from repro.strategies.engine import MeteredEngine
+
+
+class _ShardedHook(CostHook):
+    """Charge each simplex op as sharded kernels + group allreduce.
+
+    ``peer_link`` switches the reduction from inter-node MPI messages to
+    an intra-node NVLink ring (direct GPU↔GPU, §3.1's fast path).
+    """
+
+    def __init__(
+        self,
+        devices: List[Device],
+        network: NetworkSpec,
+        peer_link: "LinkSpec" = None,
+    ):
+        self.devices = devices
+        self.network = network
+        self.peer_link = peer_link
+        self.k = len(devices)
+        self._depth = max(1, math.ceil(math.log2(max(2, self.k))))
+
+    def _allreduce(self, nbytes: int) -> None:
+        if self.k == 1:
+            return
+        if self.peer_link is not None:
+            from repro.device.group import allreduce_seconds
+
+            seconds = allreduce_seconds(self.peer_link, self.k, nbytes)
+        else:
+            seconds = 2 * self._depth * self.network.message_time(nbytes)
+        for device in self.devices:
+            device.clock.advance(seconds)
+            device.metrics.inc("comm.allreduce")
+            device.metrics.add_time("time.allreduce", seconds)
+
+    def _charge_all(self, cost: K.KernelCost) -> None:
+        for device in self.devices:
+            device._charge(cost, None)
+
+    def on_factorize(self, m: int) -> None:
+        # Distributed dense LU: each device owns m/k columns; per-step
+        # pivot exchange adds an allreduce on every elimination panel.
+        shard = max(1, m // self.k)
+        self._charge_all(K.getrf_kernel(shard) if shard < m else K.getrf_kernel(m))
+        self._charge_all(K.gemm_kernel(m, shard, shard))
+        self._allreduce(8 * m)
+
+    def on_ftran(self, m: int, num_etas: int) -> None:
+        shard = max(1, m // self.k)
+        self._charge_all(K.trsv_kernel(shard))
+        self._charge_all(K.trsv_kernel(shard))
+        if num_etas:
+            self._charge_all(K.eta_chain_kernel(shard, num_etas))
+        self._allreduce(8 * m)
+
+    def on_btran(self, m: int, num_etas: int) -> None:
+        self.on_ftran(m, num_etas)
+
+    def on_pricing(self, m: int, n: int) -> None:
+        shard_cols = max(1, n // self.k)
+        self._charge_all(K.gemv_kernel(shard_cols, m))
+        self._allreduce(8 * 16)  # argmax reduction of candidate scores
+
+    def on_update(self, m: int) -> None:
+        self._charge_all(K.axpy_kernel(max(1, m // self.k)))
+
+    def on_ratio_test(self, m: int) -> None:
+        self._charge_all(K.axpy_kernel(max(1, m // self.k)))
+        self._allreduce(8 * 16)
+
+
+class BigMipEngine(MeteredEngine):
+    """Serial branch-and-cut over a matrix sharded across k devices."""
+
+    name = "big_mip"
+
+    def __init__(
+        self,
+        num_devices: int,
+        spec: DeviceSpec = V100,
+        network: NetworkSpec = SUMMIT_FAT_TREE,
+        simplex_options: Optional[SimplexOptions] = None,
+        intra_node: bool = False,
+    ):
+        if num_devices < 1:
+            raise DeviceError(f"Big-MIP needs >= 1 device, got {num_devices}")
+        super().__init__(spec, simplex_options, cut_generation="cpu")
+        self.devices = [Device(spec) for _ in range(num_devices)]
+        self.network = network
+        self.num_devices = num_devices
+        #: True: devices share a node and reduce over NVLink (§3.1's
+        #: "direct GPU to GPU communication"); False: MPI messages.
+        self.intra_node = intra_node
+
+    def begin_search(self, problem: MIPProblem, sf_root: StandardFormLP) -> None:
+        # Shard the matrix column-wise; each device holds its slice.
+        self._matrix_bytes = sf_root.a.size * 8
+        shard_bytes = max(8, self._matrix_bytes // self.num_devices)
+        for device in self.devices:
+            # Account the shard's footprint and its one-time upload
+            # without materializing huge host arrays.
+            device.alloc(b"", nbytes=shard_bytes)
+            device.transfers.host_to_device(shard_bytes)
+        self._hook = _ShardedHook(
+            self.devices,
+            self.network,
+            peer_link=NVLINK if self.intra_node else None,
+        )
+
+    def begin_node(self, node_id, tree_distance, matrix_bytes) -> None:
+        for device in self.devices:
+            device.transfers.host_to_device(256)
+
+    def resolve_after_cuts(self, sf_grown, basis_extended, num_cuts, cut_bytes) -> LPResult:
+        # Cut rows are broadcast to every shard owner.
+        for device in self.devices:
+            device.transfers.host_to_device(cut_bytes)
+        from repro.errors import LPError
+        from repro.lp.dual_simplex import dual_simplex_resolve
+        from repro.lp.simplex import solve_standard_form
+
+        try:
+            return dual_simplex_resolve(
+                sf_grown, basis_extended, options=self.simplex_options, hook=self._hook
+            )
+        except LPError:
+            return solve_standard_form(
+                sf_grown, options=self.simplex_options, hook=self._hook
+            )
+
+    def end_search(self) -> None:
+        for device in self.devices:
+            device.synchronize()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        # Lockstep shards: the slowest device gates every step.
+        return max(device.clock.now for device in self.devices)
+
+    def report(self, result, strategy=None):
+        rep = super().report(result, strategy)
+        rep.makespan_seconds = self.elapsed_seconds
+        rep.h2d_transfers = sum(d.metrics.count("transfers.h2d") for d in self.devices)
+        rep.d2h_transfers = sum(d.metrics.count("transfers.d2h") for d in self.devices)
+        rep.bytes_moved = sum(d.transfers.total_bytes for d in self.devices)
+        rep.kernels = sum(d.metrics.count("kernels.total") for d in self.devices)
+        rep.mem_peak_bytes = max(d.memory.peak for d in self.devices)
+        rep.energy_joules = sum(d.energy_joules for d in self.devices)
+        return rep
+

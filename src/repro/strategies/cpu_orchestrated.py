@@ -1,0 +1,34 @@
+"""Strategy 2: CPU-orchestration of GPU execution (§3.2).
+
+"The branch-and-cut tree is stored in the CPU main memory, while the
+GPU is used only as an accelerator for the computation of each
+branch-and-cut node."  The tree lives in host memory (no device charge),
+the constraint matrix is uploaded once and stays resident, each node
+ships only its bound delta, and every LP kernel runs on the GPU.
+
+This is the design the paper identifies as the least complex of the two
+winning strategies; :class:`CpuOrchestratedEngine` is therefore just the
+base :class:`repro.strategies.engine.MeteredEngine` with a GPU spec.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.device.spec import V100, DeviceSpec
+from repro.lp.simplex import SimplexOptions
+from repro.strategies.engine import MeteredEngine
+
+
+class CpuOrchestratedEngine(MeteredEngine):
+    """Tree on host, LP relaxations on one resident-matrix GPU."""
+
+    name = "cpu_orchestrated"
+
+    def __init__(
+        self,
+        spec: DeviceSpec = V100,
+        simplex_options: Optional[SimplexOptions] = None,
+        cut_generation: str = "cpu",
+    ):
+        super().__init__(spec, simplex_options, cut_generation)

@@ -1,0 +1,231 @@
+"""Shared device-metering machinery for the strategy engines.
+
+:class:`DeviceCostHook` translates the revised simplex's linear-algebra
+callbacks (:class:`repro.lp.simplex.CostHook`) into kernel charges on a
+simulated :class:`repro.device.Device` — the exact kernel stream a
+cuBLAS/cuSOLVER-backed solver would launch for the same pivots.
+
+:class:`MeteredEngine` is the base engine: it owns the compute device,
+keeps the constraint matrix resident (uploaded once, §5.3), ships only
+per-node deltas, and implements the two §5.2 cut-incorporation modes
+(CPU-side generation with a device→host→device round trip, or
+hypothetical GPU-resident generation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.device import kernels as K
+from repro.device.gpu import Device
+from repro.device.spec import DeviceSpec
+from repro.lp.problem import StandardFormLP
+from repro.lp.result import LPResult
+from repro.lp.simplex import CostHook, SimplexOptions
+from repro.mip.problem import MIPProblem
+from repro.mip.result import MIPResult
+from repro.mip.solver import ExecutionEngine
+
+
+class DeviceCostHook(CostHook):
+    """Charge simplex linear algebra to a device.
+
+    ``mode`` selects the §5.4 code path: "dense" uses the dense kernels
+    (getrf/trsv/gemv); "sparse" prices the same operations with the
+    sparse kernels at the problem's nonzero density and a level schedule
+    measured once from a real symbolic factorization.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        mode: str = "dense",
+        density: float = 1.0,
+        num_levels: Optional[int] = None,
+    ):
+        self.device = device
+        self.mode = mode
+        self.density = density
+        self.num_levels = num_levels
+
+    def _nnz(self, m: int) -> int:
+        return max(m, int(self.density * m * m))
+
+    def _levels(self, m: int) -> int:
+        if self.num_levels is not None:
+            return self.num_levels
+        return max(1, int(np.sqrt(m)))
+
+    def on_factorize(self, m: int) -> None:
+        if self.mode == "dense":
+            self.device._charge(K.getrf_kernel(m), None)
+        else:
+            # Fill-in roughly triples the basis nnz for these densities.
+            self.device._charge(
+                K.sparse_getrf_kernel(m, 3 * self._nnz(m), self._levels(m)), None
+            )
+
+    def _triangular_pair(self, m: int) -> None:
+        if self.mode == "dense":
+            self.device._charge(K.trsv_kernel(m), None)
+            self.device._charge(K.trsv_kernel(m), None)
+        else:
+            nnz = 3 * self._nnz(m) // 2
+            levels = self._levels(m)
+            self.device._charge(K.sparse_trsv_kernel(m, nnz, levels), None)
+            self.device._charge(K.sparse_trsv_kernel(m, nnz, levels), None)
+
+    def on_ftran(self, m: int, num_etas: int) -> None:
+        self._triangular_pair(m)
+        if num_etas:
+            self.device._charge(K.eta_chain_kernel(m, num_etas), None)
+
+    def on_btran(self, m: int, num_etas: int) -> None:
+        self._triangular_pair(m)
+        if num_etas:
+            self.device._charge(K.eta_chain_kernel(m, num_etas), None)
+
+    def on_pricing(self, m: int, n: int) -> None:
+        if self.mode == "dense":
+            self.device._charge(K.gemv_kernel(n, m), None)
+        else:
+            self.device._charge(K.spmv_kernel(n, int(self.density * m * n)), None)
+
+    def on_update(self, m: int) -> None:
+        self.device._charge(K.axpy_kernel(m), None)
+
+    def on_ratio_test(self, m: int) -> None:
+        self.device._charge(K.axpy_kernel(m), None)
+
+
+@dataclass
+class StrategyReport:
+    """One strategy's outcome on one problem."""
+
+    strategy: str
+    result: MIPResult
+    #: Simulated wall-clock of the whole search.
+    makespan_seconds: float
+    h2d_transfers: int = 0
+    d2h_transfers: int = 0
+    bytes_moved: int = 0
+    kernels: int = 0
+    mem_peak_bytes: int = 0
+    #: Busy-time energy across all compute devices (paper §2.2).
+    energy_joules: float = 0.0
+    notes: str = ""
+
+
+class MeteredEngine(ExecutionEngine):
+    """Base engine: resident matrix on one compute device.
+
+    Subclasses set ``tree_on_device`` / ``cut_generation`` / the hook
+    mode to realize the individual strategies.
+    """
+
+    name = "metered"
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        simplex_options: Optional[SimplexOptions] = None,
+        cut_generation: str = "cpu",  # "cpu" (paper: no GPU generators) | "gpu"
+    ):
+        super().__init__(simplex_options)
+        self.device = Device(spec)
+        self.cut_generation = cut_generation
+        self._matrix_array = None
+        self._matrix_bytes = 0
+        self._hook: CostHook = DeviceCostHook(self.device, mode="dense")
+
+    # -- hooks ------------------------------------------------------------------
+
+    def begin_search(self, problem: MIPProblem, sf_root: StandardFormLP) -> None:
+        # Upload the constraint matrix once; it stays resident (§5.3).
+        self._matrix_bytes = sf_root.a.size * 8
+        self._matrix_array = self.device.upload(sf_root.a)
+        density = float(np.count_nonzero(sf_root.a)) / max(1, sf_root.a.size)
+        self._hook = self._make_hook(density, sf_root)
+
+    def _make_hook(self, density: float, sf_root: StandardFormLP) -> CostHook:
+        return DeviceCostHook(self.device, mode="dense", density=density)
+
+    def begin_node(self, node_id: int, tree_distance: Optional[int], matrix_bytes: int) -> None:
+        # Shipping a node to the device = new bound RHS entries + the
+        # basis column list: a small vector, not the matrix.
+        if self.device.spec.is_accelerator:
+            self.device.transfers.host_to_device(256)
+
+    def solve_relaxation(self, sf, warm_basis=None, probe=False) -> LPResult:
+        return self._solve_with_hook(sf, warm_basis, probe)
+
+    def _solve_with_hook(self, sf, warm_basis, probe) -> LPResult:
+        from repro.lp.dual_simplex import dual_simplex_resolve
+        from repro.lp.simplex import solve_standard_form
+        from repro.errors import LPError
+
+        if warm_basis is not None:
+            try:
+                return dual_simplex_resolve(
+                    sf, warm_basis, options=self.simplex_options, hook=self._hook
+                )
+            except LPError:
+                pass
+        options = self.simplex_options
+        if probe:
+            options = SimplexOptions(
+                pricing=options.pricing,
+                refactor_interval=options.refactor_interval,
+                max_iterations=200,
+                config=options.config,
+            )
+        return solve_standard_form(sf, options=options, hook=self._hook)
+
+    def resolve_after_cuts(self, sf_grown, basis_extended, num_cuts, cut_bytes) -> LPResult:
+        from repro.lp.dual_simplex import dual_simplex_resolve
+        from repro.lp.simplex import solve_standard_form
+        from repro.errors import LPError
+
+        if self.device.spec.is_accelerator:
+            if self.cut_generation == "cpu":
+                # §5.2: the CPU generator "will require the latest copy of
+                # the matrix … to be copied from the device to the host",
+                # then the cuts move back and are incorporated.
+                self.device.transfers.device_to_host(self._matrix_bytes)
+                self.device.transfers.host_to_device(cut_bytes)
+            else:
+                # Hypothetical GPU-resident generator: rows appended in place.
+                pass
+        try:
+            return dual_simplex_resolve(
+                sf_grown, basis_extended, options=self.simplex_options, hook=self._hook
+            )
+        except LPError:
+            return solve_standard_form(
+                sf_grown, options=self.simplex_options, hook=self._hook
+            )
+
+    def end_search(self) -> None:
+        self.device.synchronize()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.device.clock.now
+
+    def report(self, result: MIPResult, strategy: Optional[str] = None) -> StrategyReport:
+        """Summarize a finished search."""
+        summary = self.device.summary()
+        return StrategyReport(
+            strategy=strategy or self.name,
+            result=result,
+            makespan_seconds=self.elapsed_seconds,
+            h2d_transfers=int(summary["h2d"]),
+            d2h_transfers=int(summary["d2h"]),
+            bytes_moved=int(summary["bytes_moved"]),
+            kernels=int(summary["kernels"]),
+            mem_peak_bytes=int(summary["mem_peak_bytes"]),
+            energy_joules=float(summary["energy_joules"]),
+        )

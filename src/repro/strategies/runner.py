@@ -1,0 +1,45 @@
+"""One-call strategy runner used by examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ReproError
+from repro.lp.simplex import SimplexOptions
+from repro.mip.problem import MIPProblem
+from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+from repro.strategies.big_mip import BigMipEngine
+from repro.strategies.cpu_orchestrated import CpuOrchestratedEngine
+from repro.strategies.engine import MeteredEngine, StrategyReport
+from repro.strategies.gpu_only import GpuOnlyEngine
+from repro.strategies.hybrid import HybridEngine
+
+#: name -> engine factory(simplex_options) for the single-node strategies.
+STRATEGIES: Dict[str, Callable[[Optional[SimplexOptions]], MeteredEngine]] = {
+    "gpu_only": lambda opts: GpuOnlyEngine(simplex_options=opts),
+    "cpu_orchestrated": lambda opts: CpuOrchestratedEngine(simplex_options=opts),
+    "hybrid": lambda opts: HybridEngine(simplex_options=opts),
+    "big_mip_4": lambda opts: BigMipEngine(num_devices=4, simplex_options=opts),
+}
+
+
+def run_strategy(
+    problem: MIPProblem,
+    strategy: str,
+    solver_options: Optional[SolverOptions] = None,
+    engine: Optional[MeteredEngine] = None,
+) -> StrategyReport:
+    """Run one strategy on one problem; returns the metered report."""
+    if engine is None:
+        try:
+            factory = STRATEGIES[strategy]
+        except KeyError:
+            raise ReproError(
+                f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+            ) from None
+        options = solver_options or SolverOptions()
+        engine = factory(options.simplex)
+    options = solver_options or SolverOptions()
+    solver = BranchAndBoundSolver(problem, options, engine=engine)
+    result = solver.solve()
+    return engine.report(result, strategy=strategy)

@@ -1,0 +1,288 @@
+"""Tests for the simulated MPI scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.comm.mpi import (
+    ANY_SOURCE,
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Probe,
+    Recv,
+    Send,
+    SimMPI,
+)
+from repro.errors import CommError, DeadlockError, RankError
+
+
+class TestPointToPoint:
+    def test_ping(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dest=1, payload="hello")
+                return "sent"
+            msg = yield Recv(source=0)
+            return msg.payload
+
+        res = SimMPI(2).run(program)
+        assert res.results == ["sent", "hello"]
+
+    def test_ping_pong_clocks_advance(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dest=1, payload=np.zeros(1000))
+                reply = yield Recv(source=1)
+                return reply.payload
+            msg = yield Recv(source=0)
+            yield Send(dest=0, payload=msg.payload * 2)
+            return None
+
+        res = SimMPI(2).run(program)
+        assert res.makespan > 0
+        assert res.clocks[0] >= res.clocks[1] - 1e-12
+
+    def test_tag_matching(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Send(dest=1, payload="a", tag=7)
+                yield Send(dest=1, payload="b", tag=9)
+                return None
+            second = yield Recv(source=0, tag=9)
+            first = yield Recv(source=0, tag=7)
+            return (first.payload, second.payload)
+
+        res = SimMPI(2).run(program)
+        assert res.results[1] == ("a", "b")
+
+    def test_any_source(self):
+        def program(rank, size):
+            if rank == 2:
+                got = []
+                for _ in range(2):
+                    msg = yield Recv(source=ANY_SOURCE)
+                    got.append(msg.source)
+                return sorted(got)
+            yield Send(dest=2, payload=rank)
+            return None
+
+        res = SimMPI(3).run(program)
+        assert res.results[2] == [0, 1]
+
+    def test_fifo_per_source(self):
+        def program(rank, size):
+            if rank == 0:
+                for i in range(5):
+                    yield Send(dest=1, payload=i)
+                return None
+            got = []
+            for _ in range(5):
+                msg = yield Recv(source=0)
+                got.append(msg.payload)
+            return got
+
+        res = SimMPI(2).run(program)
+        assert res.results[1] == [0, 1, 2, 3, 4]
+
+    def test_probe(self):
+        def program(rank, size):
+            if rank == 0:
+                empty = yield Probe()
+                yield Send(dest=1, payload="x")
+                return empty
+            msg = yield Recv(source=0)
+            nonempty_anymore = yield Probe()
+            return (msg.payload, nonempty_anymore)
+
+        res = SimMPI(2).run(program)
+        assert res.results[0] is False
+        assert res.results[1] == ("x", False)
+
+    def test_send_to_invalid_rank(self):
+        def program(rank, size):
+            yield Send(dest=5)
+
+        with pytest.raises(RankError):
+            SimMPI(2).run(program)
+
+    def test_message_cost_scales_with_bytes(self):
+        def make_program(nbytes):
+            def program(rank, size):
+                if rank == 0:
+                    yield Send(dest=1, payload=np.zeros(nbytes // 8))
+                    return None
+                yield Recv(source=0)
+                return None
+
+            return program
+
+        small = SimMPI(2).run(make_program(8_000)).makespan
+        large = SimMPI(2).run(make_program(8_000_000)).makespan
+        assert large > 100 * small
+
+
+class TestCompute:
+    def test_compute_advances_clock(self):
+        def program(rank, size):
+            yield Compute(seconds=1.5)
+            return rank
+
+        res = SimMPI(3).run(program)
+        assert all(c == pytest.approx(1.5) for c in res.clocks)
+
+    def test_negative_compute_rejected(self):
+        def program(rank, size):
+            yield Compute(seconds=-1.0)
+
+        with pytest.raises(CommError):
+            SimMPI(1).run(program)
+
+
+class TestCollectives:
+    def test_barrier_aligns_clocks(self):
+        def program(rank, size):
+            yield Compute(seconds=float(rank))
+            yield Barrier()
+            return None
+
+        res = SimMPI(4).run(program)
+        assert len(set(round(c, 12) for c in res.clocks)) == 1
+        assert res.clocks[0] > 3.0  # slowest rank dominates
+
+    def test_bcast(self):
+        def program(rank, size):
+            value = yield Bcast(root=1, payload="gold" if rank == 1 else None)
+            return value
+
+        res = SimMPI(3).run(program)
+        assert res.results == ["gold"] * 3
+
+    def test_allreduce_max(self):
+        def program(rank, size):
+            best = yield Allreduce(value=float(rank * 10), op=max)
+            return best
+
+        res = SimMPI(4).run(program)
+        assert res.results == [30.0] * 4
+
+    def test_allreduce_sum(self):
+        def program(rank, size):
+            total = yield Allreduce(value=rank + 1, op=lambda a, b: a + b)
+            return total
+
+        res = SimMPI(4).run(program)
+        assert res.results == [10] * 4
+
+    def test_gather(self):
+        def program(rank, size):
+            got = yield Gather(value=rank * rank, root=0)
+            return got
+
+        res = SimMPI(3).run(program)
+        assert res.results[0] == [0, 1, 4]
+        assert res.results[1] is None and res.results[2] is None
+
+    def test_collective_excludes_finished_ranks(self):
+        def program(rank, size):
+            if rank == 0:
+                return "early"
+            yield Barrier()
+            return "late"
+
+        res = SimMPI(3).run(program)
+        assert res.results == ["early", "late", "late"]
+
+    def test_single_rank_collectives(self):
+        def program(rank, size):
+            yield Barrier()
+            v = yield Allreduce(value=5, op=max)
+            g = yield Gather(value=7, root=0)
+            return (v, g)
+
+        res = SimMPI(1).run(program)
+        assert res.results == [(5, [7])]
+
+
+class TestDeadlock:
+    def test_mutual_recv_deadlocks(self):
+        def program(rank, size):
+            msg = yield Recv(source=1 - rank)
+            return msg
+
+        with pytest.raises(DeadlockError, match="rank 0"):
+            SimMPI(2).run(program)
+
+    def test_partial_collective_deadlocks(self):
+        def program(rank, size):
+            if rank == 0:
+                yield Barrier()
+            else:
+                yield Recv(source=0)
+
+        with pytest.raises(DeadlockError):
+            SimMPI(2).run(program)
+
+
+class TestDeterminism:
+    def test_identical_reruns(self):
+        def program(rank, size):
+            rng_val = rank * 3 + 1
+            yield Compute(seconds=0.1 * rng_val)
+            if rank:
+                yield Send(dest=0, payload=rng_val)
+                return None
+            got = []
+            for _ in range(size - 1):
+                msg = yield Recv()
+                got.append((msg.source, msg.payload))
+            return got
+
+        first = SimMPI(5).run(program)
+        second = SimMPI(5).run(program)
+        assert first.results == second.results
+        assert first.clocks == second.clocks
+
+
+class TestReduceScatter:
+    def test_reduce_to_root(self):
+        from repro.comm.mpi import Reduce
+
+        def program(rank, size):
+            got = yield Reduce(value=rank + 1, op=lambda a, b: a * b, root=1)
+            return got
+
+        res = SimMPI(4).run(program)
+        assert res.results[1] == 24  # 1*2*3*4
+        assert res.results[0] is None and res.results[2] is None
+
+    def test_scatter_distributes(self):
+        from repro.comm.mpi import Scatter
+
+        def program(rank, size):
+            values = [10 * r for r in range(size)] if rank == 0 else None
+            mine = yield Scatter(values=values, root=0)
+            return mine
+
+        res = SimMPI(3).run(program)
+        assert res.results == [0, 10, 20]
+
+    def test_scatter_wrong_count_raises(self):
+        from repro.comm.mpi import Scatter
+
+        def program(rank, size):
+            values = [1] if rank == 0 else None
+            yield Scatter(values=values, root=0)
+
+        with pytest.raises(CommError):
+            SimMPI(3).run(program)
+
+    def test_reduce_mismatched_roots_raises(self):
+        from repro.comm.mpi import Reduce
+
+        def program(rank, size):
+            yield Reduce(value=1, op=max, root=rank % 2)
+
+        with pytest.raises(CommError):
+            SimMPI(2).run(program)

@@ -1,0 +1,79 @@
+"""Property-based tests for the simulated MPI scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.mpi import ANY_SOURCE, Allreduce, Compute, Recv, Send, SimMPI
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_ranks=st.integers(min_value=2, max_value=6),
+    rounds=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_matched_gather_never_deadlocks(num_ranks, rounds, seed):
+    """Any all-to-root pattern with matched counts completes, and the
+    root receives exactly rounds x (num_ranks-1) messages."""
+
+    def program(rank, size):
+        if rank == 0:
+            got = 0
+            for _ in range(rounds * (size - 1)):
+                yield Recv(source=ANY_SOURCE)
+                got += 1
+            return got
+        rng_delay = (rank * 7919 + seed) % 13 / 1000.0
+        for _ in range(rounds):
+            yield Compute(seconds=rng_delay)
+            yield Send(dest=0, payload=rank)
+        return None
+
+    result = SimMPI(num_ranks).run(program)
+    assert result.results[0] == rounds * (num_ranks - 1)
+    assert result.makespan >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_ranks=st.integers(min_value=1, max_value=8),
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000), min_size=8, max_size=8
+    ),
+)
+def test_property_allreduce_agrees_with_python(num_ranks, values):
+    """Allreduce(sum) equals Python's sum over the per-rank values."""
+    values = values[:num_ranks]
+
+    def program(rank, size):
+        total = yield Allreduce(value=values[rank], op=lambda a, b: a + b)
+        return total
+
+    result = SimMPI(num_ranks).run(program)
+    expected = sum(values)
+    assert all(r == expected for r in result.results)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chain=st.integers(min_value=2, max_value=7),
+    payload_size=st.integers(min_value=1, max_value=1000),
+)
+def test_property_relay_clock_monotone_along_chain(chain, payload_size):
+    """A message relayed down a chain arrives later at each hop."""
+
+    def program(rank, size):
+        if rank == 0:
+            yield Send(dest=1, payload=np.zeros(payload_size))
+            return 0.0
+        msg = yield Recv(source=rank - 1)
+        if rank + 1 < size:
+            yield Send(dest=rank + 1, payload=msg.payload)
+        return msg.arrival
+
+    result = SimMPI(chain).run(program)
+    arrivals = result.results[1:]
+    assert all(b > a for a, b in zip(arrivals, arrivals[1:])) or len(arrivals) < 2
+    assert all(a > 0 for a in arrivals)

@@ -1,0 +1,55 @@
+"""Network model and payload sizing tests."""
+
+import numpy as np
+import pytest
+
+from repro.comm.network import (
+    SHARED_MEMORY,
+    SUMMIT_FAT_TREE,
+    NetworkSpec,
+    payload_bytes,
+)
+from repro.comm.supervisor import Task
+
+
+class TestNetworkSpec:
+    def test_message_time_alpha_beta(self):
+        net = NetworkSpec(name="t", latency=1e-6, bandwidth=1e9)
+        assert net.message_time(0) == pytest.approx(1e-6)
+        assert net.message_time(10**9) == pytest.approx(1.0 + 1e-6)
+
+    def test_shared_memory_faster(self):
+        nbytes = 1024
+        assert SHARED_MEMORY.message_time(nbytes) < SUMMIT_FAT_TREE.message_time(nbytes)
+
+
+class TestPayloadBytes:
+    def test_scalars(self):
+        assert payload_bytes(None) == 8
+        assert payload_bytes(42) == 8
+        assert payload_bytes(3.14) == 8
+        assert payload_bytes(True) == 8
+
+    def test_numpy_arrays(self):
+        assert payload_bytes(np.zeros(100)) == 800
+        assert payload_bytes(np.zeros((10, 10), dtype=np.float32)) == 400
+
+    def test_strings_and_bytes(self):
+        assert payload_bytes("abc") == 3
+        assert payload_bytes(b"abcd") == 4
+        assert payload_bytes("héllo") == len("héllo".encode())
+
+    def test_containers_recursive(self):
+        assert payload_bytes([1, 2, 3]) == 16 + 24
+        assert payload_bytes({"k": 1}) == 16 + 1 + 8
+        assert payload_bytes((np.zeros(2), 5)) == 16 + 16 + 8
+
+    def test_comm_nbytes_hook(self):
+        task = Task(payload="x", nbytes=12345)
+        assert payload_bytes(task) == 12345
+
+    def test_unknown_object_flat_envelope(self):
+        class Opaque:
+            pass
+
+        assert payload_bytes(Opaque()) == 256

@@ -1,0 +1,288 @@
+"""Tests for the Device facade: transfers, kernels, streams, PFI ops."""
+
+import numpy as np
+import pytest
+
+from repro.device.gpu import Device
+from repro.device.kernels import (
+    batched_getrf_kernel,
+    eta_chain_kernel,
+    gemm_kernel,
+    getrf_kernel,
+    sparse_getrf_kernel,
+    spmv_kernel,
+)
+from repro.device.spec import CPU_HOST, PCIE3, V100, DeviceSpec
+from repro.errors import DeviceMemoryError, InvalidHandleError
+from repro.la.sparse import CSCMatrix, CSRMatrix
+
+
+def make_gpu(**overrides):
+    return Device(V100, link=PCIE3)
+
+
+class TestTransfersAndMemory:
+    def test_upload_charges_transfer(self):
+        dev = make_gpu()
+        x = dev.upload(np.ones(1000))
+        assert dev.metrics.count("transfers.h2d") == 1
+        assert dev.metrics.count("transfers.h2d_bytes") == 8000
+        assert dev.clock.now > 0
+        assert x.alive
+
+    def test_download_charges_transfer(self):
+        dev = make_gpu()
+        x = dev.upload(np.ones(10))
+        out = dev.download(x)
+        np.testing.assert_array_equal(out, np.ones(10))
+        assert dev.metrics.count("transfers.d2h") == 1
+
+    def test_host_device_transfers_free(self):
+        host = Device(CPU_HOST)
+        x = host.upload(np.ones(1000))
+        host.download(x)
+        assert host.metrics.count("transfers.h2d") == 0
+        assert host.metrics.count("transfers.d2h") == 0
+        assert host.clock.now == 0.0
+
+    def test_free_releases_memory(self):
+        dev = make_gpu()
+        x = dev.upload(np.ones(100))
+        used = dev.memory.used
+        dev.free(x)
+        assert dev.memory.used == used - 800
+        assert not x.alive
+
+    def test_use_after_free_raises(self):
+        dev = make_gpu()
+        x = dev.upload(np.ones(4))
+        dev.free(x)
+        with pytest.raises(InvalidHandleError):
+            dev.download(x)
+
+    def test_cross_device_use_raises(self):
+        a, b = make_gpu(), make_gpu()
+        x = a.upload(np.ones(4))
+        with pytest.raises(InvalidHandleError):
+            b.download(x)
+
+    def test_oom_on_tiny_device(self):
+        tiny = DeviceSpec(
+            name="tiny",
+            peak_flops=1e12,
+            mem_bandwidth=1e11,
+            mem_capacity=1024,
+            kernel_launch_latency=1e-6,
+            sync_latency=1e-7,
+            dense_efficiency=0.8,
+            sparse_efficiency=0.1,
+            parallel_lanes=1024,
+            max_concurrent_kernels=4,
+        )
+        dev = Device(tiny)
+        with pytest.raises(DeviceMemoryError):
+            dev.upload(np.ones(1000))
+
+
+class TestKernelNumerics:
+    def test_gemv_correct_and_charged(self):
+        dev = make_gpu()
+        a = dev.upload(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        x = dev.upload(np.array([1.0, 1.0]))
+        y = dev.gemv(a, x)
+        np.testing.assert_allclose(y.payload, [3.0, 7.0])
+        assert dev.kernel_count("gemv") == 1
+
+    def test_gemm_correct(self):
+        dev = make_gpu()
+        rng = np.random.default_rng(0)
+        a_h, b_h = rng.standard_normal((4, 3)), rng.standard_normal((3, 5))
+        c = dev.gemm(dev.upload(a_h), dev.upload(b_h))
+        np.testing.assert_allclose(c.payload, a_h @ b_h, atol=1e-12)
+
+    def test_dot_and_axpy(self):
+        dev = make_gpu()
+        x = dev.upload(np.array([1.0, 2.0]))
+        y = dev.upload(np.array([3.0, 4.0]))
+        assert dev.dot(x, y) == pytest.approx(11.0)
+        dev.axpy(2.0, x, y)
+        np.testing.assert_allclose(y.payload, [5.0, 8.0])
+
+    def test_lu_factor_solve_on_device(self):
+        dev = make_gpu()
+        rng = np.random.default_rng(1)
+        a_h = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        b_h = rng.standard_normal(6)
+        f = dev.lu_factor(dev.upload(a_h))
+        x = dev.lu_solve(f, dev.upload(b_h))
+        np.testing.assert_allclose(x.payload, np.linalg.solve(a_h, b_h), atol=1e-8)
+        assert dev.kernel_count("getrf") == 1
+        assert dev.kernel_count("trsv") == 2
+
+    def test_spmv_correct(self):
+        dev = make_gpu()
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        a = dev.upload(CSRMatrix.from_dense(dense))
+        x = dev.upload(np.array([3.0, 4.0]))
+        y = dev.spmv(a, x)
+        np.testing.assert_allclose(y.payload, [3.0, 8.0])
+        assert dev.kernel_count("spmv") == 1
+
+    def test_sparse_lu_solve_on_device(self):
+        dev = make_gpu()
+        rng = np.random.default_rng(2)
+        dense = rng.standard_normal((8, 8))
+        dense[rng.random((8, 8)) > 0.4] = 0.0
+        dense += 9 * np.eye(8)
+        f = dev.sparse_lu(dev.upload(CSCMatrix.from_dense(dense)))
+        b_h = rng.standard_normal(8)
+        x = dev.sparse_solve(f, dev.upload(b_h))
+        np.testing.assert_allclose(x.payload, np.linalg.solve(dense, b_h), atol=1e-7)
+
+    def test_batched_lu_on_device(self):
+        dev = make_gpu()
+        rng = np.random.default_rng(3)
+        a_h = rng.standard_normal((5, 4, 4)) + 4 * np.eye(4)
+        b_h = rng.standard_normal((5, 4))
+        f = dev.batched_lu_factor(dev.upload(a_h))
+        x = dev.batched_lu_solve(f, dev.upload(b_h))
+        np.testing.assert_allclose(
+            x.payload, np.linalg.solve(a_h, b_h[..., None])[..., 0], atol=1e-8
+        )
+        assert dev.kernel_count("batched_getrf") == 1
+
+
+class TestPFIOnDevice:
+    def test_ftran_update_btran_zero_transfers(self):
+        """§5.1: resident basis updates move no data across the link."""
+        dev = make_gpu()
+        rng = np.random.default_rng(4)
+        n = 5
+        b_mat = rng.standard_normal((n, n)) + n * np.eye(n)
+        d_basis = dev.upload(b_mat)
+        pfi = dev.pfi_create(d_basis)
+        transfers_before = dev.transfers.total_transfers
+
+        current = b_mat.copy()
+        for step in range(3):
+            a_q = rng.standard_normal(n) + 1.0
+            d_aq = dev.alloc(a_q)  # column already resident (part of A)
+            w = dev.pfi_ftran(pfi, d_aq)
+            pos = step
+            if abs(w.payload[pos]) < 1e-8:
+                continue
+            dev.pfi_update(pfi, w, pos)
+            current[:, pos] = a_q
+            rhs = rng.standard_normal(n)
+            d_rhs = dev.alloc(rhs)
+            x = dev.pfi_ftran(pfi, d_rhs)
+            np.testing.assert_allclose(
+                x.payload, np.linalg.solve(current, rhs), atol=1e-7
+            )
+            y = dev.pfi_btran(pfi, d_rhs)
+            np.testing.assert_allclose(
+                y.payload, np.linalg.solve(current.T, rhs), atol=1e-7
+            )
+        assert dev.transfers.total_transfers == transfers_before
+        assert dev.metrics.count("pfi.updates") == 3
+
+    def test_refactorize_resets_and_counts(self):
+        dev = make_gpu()
+        n = 4
+        b_mat = np.eye(n) * 2.0
+        d_basis = dev.upload(b_mat)
+        pfi = dev.pfi_create(d_basis)
+        w = dev.pfi_ftran(pfi, dev.alloc(np.ones(n)))
+        dev.pfi_update(pfi, w, 0)
+        dev.pfi_refactorize(pfi, d_basis)
+        assert pfi.payload.num_etas == 0
+        assert dev.metrics.count("pfi.refactorizations") == 1
+
+
+class TestStreams:
+    def test_concurrent_streams_overlap(self):
+        """K identical kernels on K streams finish in ~1 kernel time."""
+        dev = make_gpu()
+        n = 64
+        mats = [np.eye(n) * (i + 2.0) for i in range(8)]
+        arrays = [dev.alloc(m) for m in mats]
+        serial_dev = make_gpu()
+        serial_arrays = [serial_dev.alloc(m) for m in mats]
+
+        t0 = dev.clock.now
+        streams = [dev.create_stream() for _ in range(8)]
+        for arr, s in zip(arrays, streams):
+            dev.lu_factor(arr, stream=s)
+        dev.synchronize()
+        overlapped = dev.clock.now - t0
+
+        t0 = serial_dev.clock.now
+        for arr in serial_arrays:
+            serial_dev.lu_factor(arr)
+        serial = serial_dev.clock.now - t0
+
+        assert overlapped < serial / 4
+
+    def test_throughput_bound_beyond_max_concurrency(self):
+        """More streams than max_concurrent_kernels can't keep speeding up."""
+        dev = make_gpu()
+        k = dev.spec.max_concurrent_kernels * 4
+        n = 64
+        arrays = [dev.alloc(np.eye(n) * (i + 2.0)) for i in range(k)]
+        one_cost = getrf_kernel(n).duration(dev.spec)
+        t0 = dev.clock.now
+        for arr in arrays:
+            dev.lu_factor(arr, stream=dev.create_stream())
+        dev.synchronize()
+        elapsed = dev.clock.now - t0
+        expected_floor = k * one_cost / dev.spec.max_concurrent_kernels
+        assert elapsed == pytest.approx(expected_floor, rel=1e-9)
+
+    def test_sync_is_idempotent(self):
+        dev = make_gpu()
+        dev.synchronize()
+        t = dev.clock.now
+        dev.synchronize()
+        assert dev.clock.now == t
+
+
+class TestKernelCostModel:
+    def test_getrf_scales_superlinearly(self):
+        small = getrf_kernel(1024).duration(V100)
+        large = getrf_kernel(4096).duration(V100)
+        # 4x size → 64x flops; sync/latency terms soften the observed ratio.
+        assert large > 10 * small
+
+    def test_batched_cheaper_than_looped(self):
+        """§5.5/§4.3: one batched launch beats k serial small launches."""
+        k, n = 256, 16
+        looped = k * getrf_kernel(n).duration(V100)
+        batched = batched_getrf_kernel(k, n).duration(V100)
+        assert batched < looped / 10
+
+    def test_sparse_slower_than_dense_same_flops(self):
+        """§5.4: sparse kernels sustain far less of peak."""
+        n = 256
+        dense = gemm_kernel(n, 1, n).duration(V100)
+        sparse = spmv_kernel(n, n * n).duration(V100)  # same 2n² flops
+        assert sparse > dense
+
+    def test_eta_chain_linear_in_etas(self):
+        short = eta_chain_kernel(128, 2).duration(V100)
+        long = eta_chain_kernel(128, 64).duration(V100)
+        assert long > short
+
+    def test_sparse_getrf_level_sensitivity(self):
+        """Few levels (parallel DAG) beats many levels at equal fill."""
+        fast = sparse_getrf_kernel(1024, 10_000, 4).duration(V100)
+        slow = sparse_getrf_kernel(1024, 10_000, 1024).duration(V100)
+        assert slow > fast
+
+    def test_cpu_beats_gpu_on_tiny_serial_kernels(self):
+        """Launch latency + poor utilization make tiny kernels CPU wins."""
+        tiny = getrf_kernel(8)
+        assert tiny.duration(CPU_HOST) < tiny.duration(V100)
+
+    def test_gpu_beats_cpu_on_large_dense(self):
+        big = getrf_kernel(2048)
+        assert big.duration(V100) < big.duration(CPU_HOST)

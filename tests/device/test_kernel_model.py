@@ -1,0 +1,81 @@
+"""Property tests for the roofline kernel cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import kernels as K
+from repro.device.spec import A100, CPU_HOST, MI100, V100
+
+SPECS = [V100, A100, MI100, CPU_HOST]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=2048),
+    spec_idx=st.integers(min_value=0, max_value=3),
+)
+def test_property_duration_positive_and_monotone(n, spec_idx):
+    """Every kernel costs > launch latency, and bigger never costs less."""
+    spec = SPECS[spec_idx]
+    for builder in (K.getrf_kernel, K.potrf_kernel, K.trsv_kernel):
+        small = builder(n).duration(spec)
+        large = builder(2 * n).duration(spec)
+        assert small >= spec.kernel_launch_latency
+        assert large >= small
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=512),
+    n=st.integers(min_value=1, max_value=512),
+    k=st.integers(min_value=1, max_value=512),
+)
+def test_property_gemm_scales_with_every_dim(m, n, k):
+    base = K.gemm_kernel(m, n, k).duration(V100)
+    assert K.gemm_kernel(2 * m, n, k).duration(V100) >= base
+    assert K.gemm_kernel(m, 2 * n, k).duration(V100) >= base
+    assert K.gemm_kernel(m, n, 2 * k).duration(V100) >= base
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=512),
+    n=st.integers(min_value=2, max_value=64),
+)
+def test_property_batched_never_slower_than_looped(batch, n):
+    """One batched launch is at most as slow as `batch` serial launches
+    (up to the single-batch overhead constant)."""
+    looped = batch * K.getrf_kernel(n).duration(V100)
+    batched = K.batched_getrf_kernel(batch, n).duration(V100)
+    if batch >= 4:
+        assert batched <= looped
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nnz=st.integers(min_value=1, max_value=10**6),
+    levels=st.integers(min_value=1, max_value=512),
+)
+def test_property_sparse_lu_monotone_in_levels(nnz, levels):
+    fast = K.sparse_getrf_kernel(1024, nnz, levels).duration(V100)
+    slow = K.sparse_getrf_kernel(1024, nnz, 2 * levels).duration(V100)
+    assert slow >= fast
+
+
+def test_sparse_kernels_use_sparse_efficiency():
+    """At equal flop counts a sparse kernel is never cheaper than the
+    dense one on a GPU (divergence penalty)."""
+    n = 512
+    dense = K.gemv_kernel(n, n)
+    sparse = K.spmv_kernel(n, n * n)
+    assert sparse.flops == dense.flops
+    assert sparse.duration(V100) > dense.duration(V100)
+
+
+def test_eta_chain_cheaper_than_refactorization():
+    """§5.1's economics: a typical eta chain beats a fresh getrf."""
+    for m in (64, 128, 256, 512):
+        eta = K.eta_chain_kernel(m, 32).duration(V100)
+        refactor = K.getrf_kernel(m).duration(V100)
+        assert eta < refactor

@@ -1,0 +1,76 @@
+"""Tests for the device operation tracer."""
+
+import numpy as np
+import pytest
+
+from repro.device.gpu import Device
+from repro.device.spec import V100
+from repro.device.tracer import Tracer
+
+
+def make_traced():
+    device = Device(V100)
+    return device, Tracer(device)
+
+
+class TestTracer:
+    def test_kernel_events_recorded(self):
+        device, tracer = make_traced()
+        a = device.alloc(np.eye(8) * 2)
+        x = device.alloc(np.ones(8))
+        device.gemv(a, x)
+        names = [e.name for e in tracer.events]
+        assert "gemv" in names
+
+    def test_transfer_events_recorded(self):
+        device, tracer = make_traced()
+        arr = device.upload(np.ones(100))
+        device.download(arr)
+        kinds = [e.kind for e in tracer.events]
+        assert kinds.count("h2d") == 1
+        assert kinds.count("d2h") == 1
+        assert tracer.total_transfer_bytes() == 1600
+
+    def test_events_ordered_in_time(self):
+        device, tracer = make_traced()
+        a = device.alloc(np.eye(16) + 15 * np.eye(16))
+        f = device.lu_factor(a)
+        device.lu_solve(f, device.alloc(np.ones(16)))
+        starts = [e.start for e in tracer.events]
+        assert starts == sorted(starts)
+        for event in tracer.events:
+            assert event.end >= event.start
+
+    def test_utilization_report(self):
+        device, tracer = make_traced()
+        a = device.alloc(np.eye(8) * 3)
+        device.lu_factor(a)
+        device.lu_factor(device.alloc(np.eye(8) * 4))
+        report = tracer.utilization_report()
+        assert report["getrf"] > 0
+        assert report["getrf"] == pytest.approx(
+            device.metrics.time("time.kernel.getrf")
+        )
+
+    def test_detach_stops_recording(self):
+        device, tracer = make_traced()
+        device.upload(np.ones(4))
+        count = len(tracer.events)
+        tracer.detach()
+        device.upload(np.ones(4))
+        assert len(tracer.events) == count
+
+    def test_timeline_renders(self):
+        device, tracer = make_traced()
+        device.upload(np.ones(4))
+        text = tracer.timeline()
+        assert "h2d" in text and "µs" in text
+
+    def test_stream_events_record_stream_start(self):
+        device, tracer = make_traced()
+        stream = device.create_stream()
+        a = device.alloc(np.eye(8) * 2)
+        device.lu_factor(a, stream=stream)
+        device.lu_factor(a, stream=stream)
+        events = [e for e in tracer.events if e.name == "getrf"]
+        assert events[1].start >= events[0].end - 1e-15

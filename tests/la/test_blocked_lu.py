@@ -1,0 +1,55 @@
+"""Blocked LU must match the unblocked reference exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SingularMatrixError
+from repro.la.dense import LUFactors, lu_factor, lu_factor_blocked, lu_solve
+
+
+def well_conditioned(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)) + n * np.eye(n)
+
+
+class TestBlockedLU:
+    @pytest.mark.parametrize("n,block", [(5, 2), (16, 4), (33, 8), (64, 32), (40, 64)])
+    def test_identical_to_unblocked(self, n, block):
+        a = well_conditioned(n, seed=n + block)
+        reference = lu_factor(a)
+        blocked = lu_factor_blocked(a, block_size=block)
+        np.testing.assert_allclose(blocked.lu, reference.lu, atol=1e-10)
+        np.testing.assert_array_equal(blocked.piv, reference.piv)
+
+    def test_solve_through_blocked_factors(self):
+        a = well_conditioned(24, seed=7)
+        b = np.random.default_rng(7).standard_normal(24)
+        x = lu_solve(lu_factor_blocked(a, block_size=8), b)
+        np.testing.assert_allclose(x, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_singular_raises(self):
+        a = np.ones((6, 6))
+        with pytest.raises(SingularMatrixError):
+            lu_factor_blocked(a, block_size=4)
+
+    def test_block_size_one(self):
+        a = well_conditioned(9, seed=1)
+        blocked = lu_factor_blocked(a, block_size=1)
+        reference = lu_factor(a)
+        np.testing.assert_allclose(blocked.lu, reference.lu, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    block=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_blocked_equals_unblocked(n, block, seed):
+    a = well_conditioned(n, seed)
+    reference = lu_factor(a)
+    blocked = lu_factor_blocked(a, block_size=block)
+    np.testing.assert_allclose(blocked.lu, reference.lu, atol=1e-9)
+    np.testing.assert_array_equal(blocked.piv, reference.piv)

@@ -1,0 +1,195 @@
+"""Tests for the from-scratch CSR/CSC sparse matrix classes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.la.sparse import CSCMatrix, CSRMatrix, coo_to_csr
+
+
+def random_sparse_dense(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) > density] = 0.0
+    return dense
+
+
+class TestCSRConstruction:
+    def test_from_dense_roundtrip(self):
+        dense = random_sparse_dense(6, 4, 0.4, seed=0)
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_nnz_and_density(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.nnz == 2
+        assert csr.density == pytest.approx(0.5)
+
+    def test_zeros(self):
+        z = CSRMatrix.zeros((3, 5))
+        assert z.nnz == 0
+        np.testing.assert_array_equal(z.to_dense(), np.zeros((3, 5)))
+
+    def test_drop_tolerance(self):
+        dense = np.array([[1e-15, 1.0]])
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.nnz == 1
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(
+                (2, 2), np.array([0, 1, 1]), np.array([5]), np.array([1.0])
+            )
+
+    def test_empty_matrix_density(self):
+        z = CSRMatrix.zeros((0, 0))
+        assert z.density == 0.0
+
+
+class TestCSRMatvec:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_dense(self, seed):
+        dense = random_sparse_dense(8, 6, 0.35, seed)
+        csr = CSRMatrix.from_dense(dense)
+        x = np.random.default_rng(seed + 100).standard_normal(6)
+        np.testing.assert_allclose(csr.matvec(x), dense @ x, atol=1e-12)
+
+    def test_empty_rows(self):
+        dense = np.zeros((4, 3))
+        dense[1, 2] = 5.0
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.matvec(np.ones(3)), [0.0, 5.0, 0.0, 0.0])
+
+    def test_all_zero_matrix(self):
+        csr = CSRMatrix.zeros((3, 3))
+        np.testing.assert_allclose(csr.matvec(np.ones(3)), np.zeros(3))
+
+    def test_rmatvec_matches_dense(self):
+        dense = random_sparse_dense(7, 5, 0.3, seed=11)
+        csr = CSRMatrix.from_dense(dense)
+        y = np.random.default_rng(42).standard_normal(7)
+        np.testing.assert_allclose(csr.rmatvec(y), dense.T @ y, atol=1e-12)
+
+    def test_length_mismatch(self):
+        csr = CSRMatrix.zeros((2, 3))
+        with pytest.raises(ShapeError):
+            csr.matvec(np.ones(2))
+        with pytest.raises(ShapeError):
+            csr.rmatvec(np.ones(3))
+
+
+class TestConversions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_csr_to_csc_roundtrip(self, seed):
+        dense = random_sparse_dense(5, 7, 0.4, seed)
+        csc = CSRMatrix.from_dense(dense).tocsc()
+        np.testing.assert_allclose(csc.to_dense(), dense)
+        np.testing.assert_allclose(csc.tocsr().to_dense(), dense)
+
+    def test_transpose(self):
+        dense = random_sparse_dense(4, 6, 0.5, seed=3)
+        t = CSRMatrix.from_dense(dense).transpose()
+        np.testing.assert_allclose(t.to_dense(), dense.T)
+
+    def test_csc_get_col(self):
+        dense = np.array([[1.0, 0.0], [3.0, 4.0]])
+        csc = CSCMatrix.from_dense(dense)
+        rows, vals = csc.get_col(0)
+        np.testing.assert_array_equal(rows, [0, 1])
+        np.testing.assert_allclose(vals, [1.0, 3.0])
+        np.testing.assert_allclose(csc.col_dense(1), [0.0, 4.0])
+
+    def test_csc_matvec(self):
+        dense = random_sparse_dense(6, 6, 0.4, seed=8)
+        csc = CSCMatrix.from_dense(dense)
+        x = np.arange(6.0)
+        np.testing.assert_allclose(csc.matvec(x), dense @ x, atol=1e-12)
+
+
+class TestVstackRows:
+    def test_append_cut_rows(self):
+        dense = np.array([[1.0, 2.0, 0.0], [0.0, 0.0, 3.0]])
+        csr = CSRMatrix.from_dense(dense)
+        grown = csr.vstack_rows(
+            [
+                (np.array([0, 2]), np.array([5.0, -1.0])),
+                (np.array([1]), np.array([7.0])),
+            ]
+        )
+        assert grown.shape == (4, 3)
+        expected = np.vstack([dense, [5.0, 0.0, -1.0], [0.0, 7.0, 0.0]])
+        np.testing.assert_allclose(grown.to_dense(), expected)
+        # Original is unchanged (append-only semantics).
+        assert csr.shape == (2, 3)
+
+    def test_empty_append_returns_self(self):
+        csr = CSRMatrix.zeros((2, 2))
+        assert csr.vstack_rows([]) is csr
+
+    def test_bad_row_rejected(self):
+        csr = CSRMatrix.zeros((1, 2))
+        with pytest.raises(SparseFormatError):
+            csr.vstack_rows([(np.array([5]), np.array([1.0]))])
+
+    def test_mismatched_row_rejected(self):
+        csr = CSRMatrix.zeros((1, 2))
+        with pytest.raises(SparseFormatError):
+            csr.vstack_rows([(np.array([0, 1]), np.array([1.0]))])
+
+
+class TestSelectColumns:
+    def test_basis_extraction(self):
+        dense = random_sparse_dense(5, 8, 0.5, seed=21)
+        csr = CSRMatrix.from_dense(dense)
+        cols = np.array([6, 0, 3])
+        np.testing.assert_allclose(csr.select_columns(cols), dense[:, cols])
+
+
+class TestCOO:
+    def test_coo_basic(self):
+        csr = coo_to_csr(
+            (2, 3),
+            np.array([0, 1, 1]),
+            np.array([2, 0, 0]),
+            np.array([1.0, 2.0, 3.0]),
+        )
+        expected = np.array([[0.0, 0.0, 1.0], [5.0, 0.0, 0.0]])
+        np.testing.assert_allclose(csr.to_dense(), expected)
+
+    def test_coo_duplicates_summed(self):
+        csr = coo_to_csr(
+            (1, 1), np.array([0, 0]), np.array([0, 0]), np.array([2.0, 3.0])
+        )
+        assert csr.to_dense()[0, 0] == pytest.approx(5.0)
+
+    def test_coo_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            coo_to_csr((1, 1), np.array([2]), np.array([0]), np.array([1.0]))
+
+    def test_coo_length_mismatch(self):
+        with pytest.raises(SparseFormatError):
+            coo_to_csr((1, 1), np.array([0]), np.array([0, 0]), np.array([1.0]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=10),
+    n=st.integers(min_value=1, max_value=10),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_roundtrip_and_matvec(m, n, density, seed):
+    """Dense → CSR → dense is exact, and SpMV equals the dense product."""
+    dense = random_sparse_dense(m, n, density, seed)
+    csr = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(csr.to_dense(), dense)
+    x = np.random.default_rng(seed ^ 0xABCDEF).standard_normal(n)
+    np.testing.assert_allclose(csr.matvec(x), dense @ x, atol=1e-10)
+    np.testing.assert_allclose(csr.tocsc().to_dense(), dense)

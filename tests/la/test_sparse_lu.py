@@ -1,0 +1,124 @@
+"""Tests for Gilbert–Peierls sparse LU and its level schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, SingularMatrixError
+from repro.la.sparse import CSCMatrix
+from repro.la.sparse_lu import sparse_lu_factor
+
+
+def random_sparse_spd_like(n, density, seed):
+    """Random sparse matrix made comfortably nonsingular."""
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n))
+    dense[rng.random((n, n)) > density] = 0.0
+    dense += (n + 1.0) * np.eye(n)
+    return dense
+
+
+class TestSparseLUCorrectness:
+    @pytest.mark.parametrize("n,density", [(1, 1.0), (3, 0.8), (8, 0.4), (20, 0.2), (40, 0.1)])
+    def test_solve_matches_numpy(self, n, density):
+        dense = random_sparse_spd_like(n, density, seed=n)
+        lu = sparse_lu_factor(CSCMatrix.from_dense(dense))
+        b = np.random.default_rng(n + 7).standard_normal(n)
+        np.testing.assert_allclose(lu.solve(b), np.linalg.solve(dense, b), atol=1e-7)
+
+    def test_factor_reconstruction(self):
+        dense = random_sparse_spd_like(10, 0.3, seed=5)
+        lu = sparse_lu_factor(CSCMatrix.from_dense(dense))
+        reconstructed = lu.l.to_dense() @ lu.u.to_dense()
+        np.testing.assert_allclose(dense[lu.row_perm], reconstructed, atol=1e-9)
+
+    def test_requires_pivoting(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        lu = sparse_lu_factor(CSCMatrix.from_dense(dense))
+        b = np.array([2.0, 3.0])
+        np.testing.assert_allclose(lu.solve(b), [3.0, 2.0], atol=1e-12)
+
+    def test_singular_raises(self):
+        dense = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(SingularMatrixError):
+            sparse_lu_factor(CSCMatrix.from_dense(dense))
+
+    def test_structurally_singular_raises(self):
+        dense = np.array([[1.0, 0.0], [0.0, 0.0]])
+        with pytest.raises(SingularMatrixError):
+            sparse_lu_factor(CSCMatrix.from_dense(dense))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ShapeError):
+            sparse_lu_factor(CSCMatrix.from_dense(np.ones((2, 3))))
+
+    def test_rhs_length_mismatch(self):
+        lu = sparse_lu_factor(CSCMatrix.from_dense(np.eye(2)))
+        with pytest.raises(ShapeError):
+            lu.solve(np.ones(3))
+
+
+class TestLevelSchedule:
+    def test_diagonal_is_single_level(self):
+        lu = sparse_lu_factor(CSCMatrix.from_dense(np.diag([1.0, 2.0, 3.0])))
+        assert lu.num_levels == 1
+        np.testing.assert_array_equal(lu.levels, [0, 0, 0])
+
+    def test_lower_bidiagonal_is_single_level(self):
+        # L = A, U = I: no column depends on another, fully parallel.
+        n = 6
+        dense = np.eye(n)
+        for i in range(1, n):
+            dense[i, i - 1] = 1.0
+        lu = sparse_lu_factor(CSCMatrix.from_dense(dense))
+        assert lu.num_levels == 1
+
+    def test_tridiagonal_is_serial_chain(self):
+        # Each column's U entry couples it to the previous column.
+        n = 6
+        dense = 4.0 * np.eye(n)
+        for i in range(1, n):
+            dense[i, i - 1] = 1.0
+            dense[i - 1, i] = 1.0
+        lu = sparse_lu_factor(CSCMatrix.from_dense(dense))
+        assert lu.num_levels == n
+
+    def test_block_diagonal_parallelism(self):
+        # Two independent 2x2 blocks: levels must not couple them.
+        block = np.array([[3.0, 1.0], [1.0, 3.0]])
+        dense = np.zeros((4, 4))
+        dense[:2, :2] = block
+        dense[2:, 2:] = block
+        lu = sparse_lu_factor(CSCMatrix.from_dense(dense))
+        assert lu.num_levels == 2
+
+    def test_fill_ratio_le_one_for_diagonal(self):
+        lu = sparse_lu_factor(CSCMatrix.from_dense(np.eye(5)))
+        assert lu.fill_ratio == pytest.approx(2 * 5 / 25.0)
+
+    def test_levels_monotone_along_dependencies(self):
+        dense = random_sparse_spd_like(15, 0.25, seed=2)
+        lu = sparse_lu_factor(CSCMatrix.from_dense(dense))
+        # A column's level exceeds every column that appears above the
+        # diagonal in its U column (its true dependencies).
+        for j in range(15):
+            rows, _ = lu.u.get_col(j)
+            for k in rows:
+                if k != j:
+                    assert lu.levels[j] > lu.levels[k]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=15),
+    density=st.floats(min_value=0.1, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_sparse_lu_solves(n, density, seed):
+    """Sparse LU solve inverts the dense operator for any nonsingular input."""
+    dense = random_sparse_spd_like(n, density, seed)
+    lu = sparse_lu_factor(CSCMatrix.from_dense(dense))
+    x_true = np.random.default_rng(seed ^ 0x5EED).standard_normal(n)
+    np.testing.assert_allclose(lu.solve(dense @ x_true), x_true, atol=1e-6)
+    assert 1 <= lu.num_levels <= n

@@ -1,0 +1,91 @@
+"""CSR arithmetic operations: scale, add, matmat."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.la.sparse import CSRMatrix
+
+
+def random_sparse(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) > density] = 0.0
+    return dense
+
+
+class TestScale:
+    def test_scale_matches_dense(self):
+        dense = random_sparse(5, 4, 0.5, seed=0)
+        scaled = CSRMatrix.from_dense(dense).scale(-2.5)
+        np.testing.assert_allclose(scaled.to_dense(), -2.5 * dense)
+
+    def test_scale_zero(self):
+        csr = CSRMatrix.from_dense(random_sparse(3, 3, 0.5, seed=1)).scale(0.0)
+        np.testing.assert_allclose(csr.to_dense(), np.zeros((3, 3)))
+
+
+class TestAdd:
+    def test_add_matches_dense(self):
+        a = random_sparse(6, 5, 0.3, seed=2)
+        b = random_sparse(6, 5, 0.3, seed=3)
+        out = CSRMatrix.from_dense(a).add(CSRMatrix.from_dense(b))
+        np.testing.assert_allclose(out.to_dense(), a + b, atol=1e-12)
+
+    def test_add_disjoint_patterns(self):
+        a = np.diag([1.0, 2.0, 0.0])
+        b = np.diag([0.0, 0.0, 3.0])
+        out = CSRMatrix.from_dense(a).add(CSRMatrix.from_dense(b))
+        np.testing.assert_allclose(out.to_dense(), a + b)
+        assert out.nnz == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.zeros((2, 3)).add(CSRMatrix.zeros((3, 2)))
+
+
+class TestMatMat:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dense_product(self, seed):
+        a = random_sparse(5, 7, 0.4, seed=seed)
+        b = random_sparse(7, 4, 0.4, seed=seed + 50)
+        out = CSRMatrix.from_dense(a).matmat(CSRMatrix.from_dense(b))
+        np.testing.assert_allclose(out.to_dense(), a @ b, atol=1e-10)
+
+    def test_identity(self):
+        a = random_sparse(4, 4, 0.6, seed=9)
+        eye = CSRMatrix.from_dense(np.eye(4))
+        out = CSRMatrix.from_dense(a).matmat(eye)
+        np.testing.assert_allclose(out.to_dense(), a, atol=1e-12)
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.zeros((2, 3)).matmat(CSRMatrix.zeros((2, 3)))
+
+    def test_zero_result_dropped(self):
+        # a @ b structurally nonzero but numerically cancels to zero.
+        a = CSRMatrix.from_dense(np.array([[1.0, -1.0]]))
+        b = CSRMatrix.from_dense(np.array([[1.0], [1.0]]))
+        out = a.matmat(b)
+        assert out.nnz == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=6),
+    k=st.integers(min_value=1, max_value=6),
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_matmat_and_add(m, k, n, seed):
+    a = random_sparse(m, k, 0.5, seed)
+    b = random_sparse(k, n, 0.5, seed ^ 0xA5)
+    c = random_sparse(m, k, 0.5, seed ^ 0x5A)
+    A, B, C = (CSRMatrix.from_dense(x) for x in (a, b, c))
+    np.testing.assert_allclose(A.matmat(B).to_dense(), a @ b, atol=1e-10)
+    np.testing.assert_allclose(A.add(C).to_dense(), a + c, atol=1e-12)
+    np.testing.assert_allclose(
+        A.add(C).matmat(B).to_dense(), (a + c) @ b, atol=1e-9
+    )

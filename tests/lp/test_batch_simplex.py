@@ -1,0 +1,99 @@
+"""Lockstep batched simplex tests (paper §5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LPError, ShapeError
+from repro.lp.batch_simplex import solve_lp_batch
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPStatus
+from repro.lp.simplex import solve_lp
+
+
+def random_batch(k, m, n, seed):
+    rng = np.random.default_rng(seed)
+    lps = []
+    for _ in range(k):
+        lps.append(
+            LinearProgram(
+                c=rng.standard_normal(n),
+                a_ub=rng.standard_normal((m, n)),
+                b_ub=rng.random(m) * 4 + 0.5,
+                ub=np.full(n, 10.0),
+            )
+        )
+    return lps
+
+
+class TestBatchedSimplex:
+    @pytest.mark.parametrize("k,m,n", [(1, 3, 4), (8, 4, 5), (32, 3, 3), (64, 6, 8)])
+    def test_matches_sequential_revised_simplex(self, k, m, n):
+        lps = random_batch(k, m, n, seed=k + m + n)
+        batch = solve_lp_batch(lps)
+        for t, lp in enumerate(lps):
+            single = solve_lp(lp)
+            assert batch.statuses[t] is single.status
+            if single.status is LPStatus.OPTIMAL:
+                assert batch.objectives[t] == pytest.approx(
+                    single.objective, abs=1e-6
+                )
+
+    def test_unbounded_member_detected(self):
+        good = LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[2.0], ub=[np.inf])
+        bad = LinearProgram(c=[1.0], a_ub=[[-1.0]], b_ub=[2.0], ub=[np.inf])
+        res = solve_lp_batch([good, bad])
+        assert res.statuses[0] is LPStatus.OPTIMAL
+        assert res.statuses[1] is LPStatus.UNBOUNDED
+        assert res.objectives[0] == pytest.approx(2.0)
+
+    def test_members_finish_at_different_iterations(self):
+        # Same shape, but the first member is optimal at the start
+        # (all costs negative) while the second needs pivots.
+        busy = random_batch(1, 6, 8, seed=3)[0]
+        trivial = LinearProgram(
+            c=-np.abs(busy.c) - 1.0,
+            a_ub=busy.a_ub,
+            b_ub=busy.b_ub,
+            ub=busy.ub,
+        )
+        res = solve_lp_batch([trivial, busy])
+        assert res.all_ok
+        assert res.objectives[0] == pytest.approx(0.0)
+        assert res.iterations > 0
+
+    def test_solutions_feasible(self):
+        lps = random_batch(16, 5, 6, seed=9)
+        res = solve_lp_batch(lps)
+        for t, lp in enumerate(lps):
+            if res.statuses[t] is LPStatus.OPTIMAL:
+                x = res.x[t]
+                assert np.all(lp.a_ub @ x <= lp.b_ub + 1e-7)
+                assert np.all(x >= -1e-9)
+                assert np.all(x <= lp.ub + 1e-7)
+
+    def test_on_iteration_hook_called(self):
+        calls = []
+        lps = random_batch(4, 3, 4, seed=1)
+        solve_lp_batch(lps, on_iteration=lambda k, m, n: calls.append((k, m, n)))
+        assert calls
+        assert all(c[0] <= 4 for c in calls)
+
+    def test_shape_mismatch_rejected(self):
+        a = random_batch(1, 3, 4, seed=0)[0]
+        b = random_batch(1, 4, 4, seed=0)[0]
+        with pytest.raises(ShapeError):
+            solve_lp_batch([a, b])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(LPError):
+            solve_lp_batch([])
+
+    def test_negative_rhs_rejected(self):
+        lp = LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[-1.0], ub=[2.0])
+        with pytest.raises(LPError):
+            solve_lp_batch([lp])
+
+    def test_equality_rows_rejected(self):
+        lp = LinearProgram(c=[1.0], a_eq=[[1.0]], b_eq=[1.0], ub=[2.0])
+        with pytest.raises(LPError):
+            solve_lp_batch([lp])

@@ -1,0 +1,127 @@
+"""Presolve and scaling tests."""
+
+import numpy as np
+import pytest
+
+from repro.lp.presolve import PresolveStatus, presolve
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPStatus
+from repro.lp.scaling import equilibrate
+from repro.lp.simplex import solve_lp
+
+
+class TestPresolve:
+    def test_fixed_variable_substituted(self):
+        lp = LinearProgram(
+            c=[1.0, 2.0],
+            a_ub=[[1.0, 1.0]],
+            b_ub=[5.0],
+            lb=[3.0, 0.0],
+            ub=[3.0, 10.0],
+        )
+        res = presolve(lp)
+        assert res.status is PresolveStatus.REDUCED
+        assert res.lp.n == 1
+        assert res.fixed_objective == pytest.approx(3.0)
+        # Remaining constraint: x1 <= 2.
+        np.testing.assert_allclose(res.lp.b_ub, [2.0])
+
+    def test_postsolve_reconstructs_solution(self):
+        lp = LinearProgram(
+            c=[1.0, 2.0],
+            a_ub=[[1.0, 1.0]],
+            b_ub=[5.0],
+            lb=[3.0, 0.0],
+            ub=[3.0, 10.0],
+        )
+        res = presolve(lp)
+        inner = solve_lp(res.lp)
+        x = res.postsolve(inner.x)
+        assert x[0] == pytest.approx(3.0)
+        assert x[1] == pytest.approx(2.0)
+        total = res.fixed_objective + inner.objective
+        assert total == pytest.approx(solve_lp(lp).objective)
+
+    def test_singleton_row_tightens_bound(self):
+        lp = LinearProgram(c=[1.0, 1.0], a_ub=[[2.0, 0.0]], b_ub=[4.0], ub=[10.0, 1.0])
+        res = presolve(lp)
+        assert res.status is PresolveStatus.REDUCED
+        assert res.lp.ub[0] == pytest.approx(2.0)
+        assert res.lp.num_ub_rows == 0
+
+    def test_empty_infeasible_row(self):
+        lp = LinearProgram(c=[1.0], a_ub=[[0.0]], b_ub=[-1.0], ub=[1.0])
+        assert presolve(lp).status is PresolveStatus.INFEASIBLE
+
+    def test_crossed_bounds_after_tightening(self):
+        # Singleton row forces x <= -1 but lb = 0.
+        lp = LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[-1.0], ub=[5.0])
+        assert presolve(lp).status is PresolveStatus.INFEASIBLE
+
+    def test_all_fixed_solved(self):
+        lp = LinearProgram(c=[1.0, 1.0], lb=[2.0, 3.0], ub=[2.0, 3.0])
+        res = presolve(lp)
+        assert res.status is PresolveStatus.SOLVED
+        np.testing.assert_allclose(res.postsolve(np.zeros(0)), [2.0, 3.0])
+        assert res.fixed_objective == pytest.approx(5.0)
+
+    def test_all_fixed_infeasible(self):
+        lp = LinearProgram(
+            c=[1.0], lb=[2.0], ub=[2.0], a_ub=[[1.0]], b_ub=[1.0]
+        )
+        assert presolve(lp).status is PresolveStatus.INFEASIBLE
+
+    def test_presolve_preserves_optimum(self):
+        rng = np.random.default_rng(5)
+        n, m = 8, 5
+        lb = np.zeros(n)
+        ub = np.full(n, 6.0)
+        lb[2] = ub[2] = 1.5  # one fixed variable
+        lp = LinearProgram(
+            c=rng.standard_normal(n),
+            a_ub=rng.standard_normal((m, n)),
+            b_ub=rng.random(m) * 5 + 2,
+            lb=lb,
+            ub=ub,
+        )
+        direct = solve_lp(lp)
+        res = presolve(lp)
+        assert res.status is PresolveStatus.REDUCED
+        inner = solve_lp(res.lp)
+        assert inner.status is LPStatus.OPTIMAL
+        assert res.fixed_objective + inner.objective == pytest.approx(
+            direct.objective, abs=1e-6
+        )
+
+
+class TestScaling:
+    def test_badly_scaled_matrix_improves(self):
+        # A matrix whose bad scaling is purely diagonal (fully fixable).
+        rng = np.random.default_rng(0)
+        core = rng.random((4, 4)) + 0.5
+        a = np.diag([1e6, 1.0, 1e-4, 1e2]) @ core @ np.diag([1e3, 1e-5, 1.0, 1e4])
+        res = equilibrate(a)
+        nz = np.abs(res.scaled[res.scaled != 0])
+        original = np.abs(a[a != 0])
+        assert nz.max() / nz.min() < 1e3
+        assert (nz.max() / nz.min()) < (original.max() / original.min()) / 1e6
+
+    def test_scaling_consistent_solve(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((4, 4)) * np.array([1e4, 1.0, 1e-3, 10.0])
+        a += 5 * np.eye(4)
+        x_true = rng.standard_normal(4)
+        b = a @ x_true
+        res = equilibrate(a)
+        x_scaled = np.linalg.solve(res.scaled, res.apply_rhs(b))
+        np.testing.assert_allclose(res.recover_x(x_scaled), x_true, atol=1e-8)
+
+    def test_identity_untouched(self):
+        res = equilibrate(np.eye(3))
+        np.testing.assert_allclose(res.scaled, np.eye(3))
+        np.testing.assert_allclose(res.row_scale, np.ones(3))
+
+    def test_zero_rows_survive(self):
+        a = np.array([[0.0, 0.0], [1.0, 2.0]])
+        res = equilibrate(a)
+        assert np.all(np.isfinite(res.scaled))

@@ -1,0 +1,90 @@
+"""Tests for LinearProgram and standard-form conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemFormatError
+from repro.lp.problem import LinearProgram
+
+
+class TestValidation:
+    def test_minimal(self):
+        lp = LinearProgram(c=[1.0, 2.0])
+        assert lp.n == 2
+        np.testing.assert_array_equal(lp.lb, [0.0, 0.0])
+        assert np.all(np.isinf(lp.ub))
+
+    def test_bad_a_ub_width(self):
+        with pytest.raises(ProblemFormatError):
+            LinearProgram(c=[1.0], a_ub=[[1.0, 2.0]], b_ub=[1.0])
+
+    def test_b_without_a(self):
+        with pytest.raises(ProblemFormatError):
+            LinearProgram(c=[1.0], b_ub=[1.0])
+        with pytest.raises(ProblemFormatError):
+            LinearProgram(c=[1.0], b_eq=[1.0])
+
+    def test_row_mismatch(self):
+        with pytest.raises(ProblemFormatError):
+            LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[1.0, 2.0])
+
+    def test_crossing_bounds(self):
+        with pytest.raises(ProblemFormatError):
+            LinearProgram(c=[1.0], lb=[2.0], ub=[1.0])
+
+    def test_with_bounds_tightens_only(self):
+        lp = LinearProgram(c=[1.0], lb=[0.0], ub=[10.0])
+        child = lp.with_bounds(0, lb=3.0, ub=12.0)
+        assert child.lb[0] == 3.0
+        assert child.ub[0] == 10.0  # cannot loosen
+
+    def test_density(self):
+        lp = LinearProgram(
+            c=[1.0, 1.0], a_ub=[[1.0, 0.0], [0.0, 0.0]], b_ub=[1.0, 1.0]
+        )
+        assert lp.density() == pytest.approx(0.25)
+
+
+class TestStandardForm:
+    def test_simple_inequality(self):
+        lp = LinearProgram(c=[3.0, 2.0], a_ub=[[1.0, 1.0]], b_ub=[4.0])
+        sf = lp.to_standard_form()
+        assert sf.m == 1
+        assert sf.n == 3  # two structural + one slack
+        np.testing.assert_allclose(sf.a, [[1.0, 1.0, 1.0]])
+        np.testing.assert_allclose(sf.b, [4.0])
+
+    def test_shifted_lower_bound(self):
+        lp = LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[10.0], lb=[2.0])
+        sf = lp.to_standard_form()
+        np.testing.assert_allclose(sf.b, [8.0])
+        assert sf.offset == pytest.approx(2.0)
+        x = sf.recover_x(np.array([3.0, 5.0]))
+        assert x[0] == pytest.approx(5.0)
+
+    def test_free_variable_split(self):
+        lp = LinearProgram(c=[1.0], lb=[-np.inf], a_eq=[[1.0]], b_eq=[5.0])
+        sf = lp.to_standard_form()
+        assert sf.num_structural == 2
+        x = sf.recover_x(np.array([7.0, 2.0]))
+        assert x[0] == pytest.approx(5.0)
+
+    def test_upper_bound_becomes_row(self):
+        lp = LinearProgram(c=[1.0], ub=[3.0])
+        sf = lp.to_standard_form()
+        assert sf.m == 1  # the bound row
+        np.testing.assert_allclose(sf.b, [3.0])
+
+    def test_objective_value_roundtrip(self):
+        lp = LinearProgram(
+            c=[2.0, -1.0],
+            a_ub=[[1.0, 1.0]],
+            b_ub=[6.0],
+            lb=[1.0, -np.inf],
+            ub=[4.0, np.inf],
+        )
+        sf = lp.to_standard_form()
+        # Pick an arbitrary standard-form point and verify the objective map.
+        x_std = np.abs(np.random.default_rng(0).standard_normal(sf.n))
+        x = sf.recover_x(x_std)
+        assert sf.objective_value(x_std) == pytest.approx(float(lp.c @ x))

@@ -1,0 +1,109 @@
+"""Sensitivity analysis and reduced-cost fixing tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LPError
+from repro.lp.problem import LinearProgram
+from repro.lp.sensitivity import analyze, reduced_cost_fixing
+from repro.lp.simplex import solve_standard_form
+from repro.mip.cuts.gomory import standard_integer_mask
+from repro.problems.knapsack import generate_knapsack
+
+
+def solved(lp):
+    sf = lp.to_standard_form()
+    res = solve_standard_form(sf)
+    assert res.ok
+    return sf, res
+
+
+class TestAnalyze:
+    def test_reduced_costs_nonpositive_at_optimum(self):
+        rng = np.random.default_rng(0)
+        lp = LinearProgram(
+            c=rng.standard_normal(6),
+            a_ub=rng.standard_normal((4, 6)),
+            b_ub=rng.random(4) * 3 + 1,
+            ub=np.full(6, 10.0),
+        )
+        sf, res = solved(lp)
+        report = analyze(sf, res)
+        assert np.all(report.reduced_costs <= 1e-7)
+        np.testing.assert_allclose(
+            report.reduced_costs[res.basis], 0.0, atol=1e-9
+        )
+
+    def test_rhs_ranging_contains_zero(self):
+        lp = LinearProgram(c=[3.0, 2.0], a_ub=[[1.0, 1.0], [1.0, 3.0]], b_ub=[4.0, 6.0])
+        sf, res = solved(lp)
+        report = analyze(sf, res)
+        for lo, hi in report.rhs_ranges:
+            assert lo <= 1e-9 and hi >= -1e-9
+
+    def test_rhs_ranging_predicts_objective_change(self):
+        """Inside the range, objective moves linearly with slope = dual."""
+        lp = LinearProgram(c=[3.0, 2.0], a_ub=[[1.0, 1.0], [1.0, 3.0]], b_ub=[4.0, 6.0])
+        sf, res = solved(lp)
+        report = analyze(sf, res)
+        i = 0
+        lo, hi = report.rhs_ranges[i]
+        t = min(hi, 0.5) / 2 if np.isfinite(hi) else 0.25
+        perturbed = LinearProgram(
+            c=[3.0, 2.0], a_ub=[[1.0, 1.0], [1.0, 3.0]], b_ub=[4.0 + t, 6.0]
+        )
+        _, res2 = solved(perturbed)
+        predicted = res.objective + report.duals[i] * t
+        assert res2.objective == pytest.approx(predicted, abs=1e-7)
+
+    def test_cost_ranging_nonbasic(self):
+        """Raising a nonbasic cost past its range makes it enter."""
+        lp = LinearProgram(c=[3.0, 2.0], a_ub=[[1.0, 1.0], [1.0, 3.0]], b_ub=[4.0, 6.0])
+        sf, res = solved(lp)
+        report = analyze(sf, res)
+        nonbasic = [
+            j
+            for j in range(sf.n)
+            if j not in set(res.basis.tolist()) and np.isfinite(report.cost_ranges[j][1])
+        ]
+        assert nonbasic
+        for j in nonbasic:
+            _, allow_up = report.cost_ranges[j]
+            assert allow_up >= -1e-9
+
+    def test_requires_basis(self):
+        lp = LinearProgram(c=[1.0], ub=[1.0])
+        sf = lp.to_standard_form()
+        from repro.lp.result import LPResult, LPStatus
+
+        fake = LPResult(status=LPStatus.OPTIMAL, objective=1.0)
+        with pytest.raises(LPError):
+            analyze(sf, fake)
+
+
+class TestReducedCostFixing:
+    def test_fixes_hopeless_items(self):
+        """With a strong incumbent, low-value knapsack items get fixed."""
+        p = generate_knapsack(20, seed=1)
+        sf = p.relaxation().to_standard_form()
+        res = solve_standard_form(sf)
+        int_cols = np.nonzero(standard_integer_mask(p, sf))[0]
+        # Incumbent equal to the LP bound - epsilon: tightest possible.
+        fixed = reduced_cost_fixing(sf, res, res.objective - 1e-6, int_cols)
+        # Fixing must never cut off the true optimum.
+        from repro.problems.knapsack import knapsack_dp_optimal
+
+        best, x_opt = knapsack_dp_optimal(p)
+        if best >= res.objective - 1e-6:
+            for j in fixed:
+                orig = int(np.nonzero(sf.pos_col == j)[0][0])
+                assert x_opt[orig] == 0.0
+
+    def test_weak_incumbent_fixes_nothing_extra(self):
+        p = generate_knapsack(15, seed=2)
+        sf = p.relaxation().to_standard_form()
+        res = solve_standard_form(sf)
+        int_cols = np.nonzero(standard_integer_mask(p, sf))[0]
+        strong = reduced_cost_fixing(sf, res, res.objective - 0.5, int_cols)
+        weak = reduced_cost_fixing(sf, res, res.objective - 1e9, int_cols)
+        assert set(weak) <= set(strong)

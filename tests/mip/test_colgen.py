@@ -1,0 +1,102 @@
+"""Column-generation (cutting stock) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemFormatError
+from repro.mip.colgen import (
+    CuttingStockInstance,
+    _integer_knapsack_best_pattern,
+    solve_cutting_stock,
+)
+
+
+class TestInstanceValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ProblemFormatError):
+            CuttingStockInstance(100.0, [10.0, 20.0], [1.0])
+
+    def test_oversized_width(self):
+        with pytest.raises(ProblemFormatError):
+            CuttingStockInstance(100.0, [150.0], [1.0])
+
+    def test_negative_demand(self):
+        with pytest.raises(ProblemFormatError):
+            CuttingStockInstance(100.0, [10.0], [-1.0])
+
+
+class TestPricingKnapsack:
+    def test_finds_best_pattern(self):
+        # widths 3 and 5, values 2 and 3, capacity 7: best is 3+3 (v=4)
+        # over 5+(waste) (v=3).
+        pattern = _integer_knapsack_best_pattern(
+            np.array([3.0, 5.0]), np.array([2.0, 3.0]), 7.0
+        )
+        np.testing.assert_array_equal(pattern, [2.0, 0.0])
+
+    def test_pattern_respects_capacity(self):
+        rng = np.random.default_rng(0)
+        widths = rng.integers(5, 40, size=6).astype(float)
+        values = rng.random(6)
+        pattern = _integer_knapsack_best_pattern(widths, values, 100.0)
+        assert pattern is not None
+        assert widths @ pattern <= 100.0 + 1e-9
+
+    def test_no_positive_values(self):
+        assert (
+            _integer_knapsack_best_pattern(
+                np.array([3.0]), np.array([0.0]), 10.0
+            )
+            is None
+        )
+
+
+class TestCuttingStock:
+    def test_textbook_instance(self):
+        # Classic: W=100; widths 45 (×97), 36 (×610), 31 (×395), 14 (×211)
+        # is too big for a unit test; use a scaled-down classic.
+        instance = CuttingStockInstance(
+            stock_width=100.0,
+            widths=np.array([45.0, 36.0, 31.0, 14.0]),
+            demands=np.array([4.0, 6.0, 4.0, 2.0]),
+        )
+        result = solve_cutting_stock(instance)
+        # LP bound ≥ total material / stock width.
+        material = float(instance.widths @ instance.demands)
+        assert result.lp_bound >= material / 100.0 - 1e-6
+        assert result.rolls >= result.lp_bound - 1e-6
+        # Integer solution covers all demands within capacity.
+        coverage = result.patterns @ result.usage
+        assert np.all(coverage >= instance.demands - 1e-6)
+        for p in range(result.patterns.shape[1]):
+            assert instance.widths @ result.patterns[:, p] <= 100.0 + 1e-9
+
+    def test_single_width_exact(self):
+        # 10 items of width 30 on rolls of 100 -> 3 per roll -> 4 rolls.
+        instance = CuttingStockInstance(100.0, [30.0], [10.0])
+        result = solve_cutting_stock(instance)
+        assert result.rolls == pytest.approx(4.0)
+
+    def test_perfect_packing(self):
+        # widths 60/40 demands 3/3: each roll takes 60+40 -> 3 rolls.
+        instance = CuttingStockInstance(100.0, [60.0, 40.0], [3.0, 3.0])
+        result = solve_cutting_stock(instance)
+        assert result.rolls == pytest.approx(3.0)
+
+    def test_column_generation_beats_initial_columns(self):
+        """Generated patterns must improve on the naive one-width ones."""
+        instance = CuttingStockInstance(
+            100.0, np.array([45.0, 36.0, 31.0, 14.0]), np.array([8.0, 8.0, 8.0, 8.0])
+        )
+        result = solve_cutting_stock(instance)
+        assert result.pricing_rounds > 1  # actually generated columns
+        naive_rolls = sum(
+            np.ceil(d / np.floor(100.0 / w))
+            for w, d in zip(instance.widths, instance.demands)
+        )
+        assert result.rolls < naive_rolls
+
+    def test_zero_demand(self):
+        instance = CuttingStockInstance(100.0, [30.0], [0.0])
+        result = solve_cutting_stock(instance)
+        assert result.rolls == pytest.approx(0.0)

@@ -1,0 +1,125 @@
+"""IVM vs linked-list branch-and-bound equivalence (paper §2.3 / E11)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import MIPError
+from repro.mip.ivm import (
+    IVM,
+    ivm_branch_and_bound,
+    linked_list_branch_and_bound,
+)
+from repro.problems.flowshop import generate_flowshop
+
+
+class TestIVMStructure:
+    def test_initial_state(self):
+        ivm = IVM(4)
+        assert ivm.depth == 0
+        np.testing.assert_array_equal(ivm.matrix[0], [0, 1, 2, 3])
+        assert not ivm.exhausted
+
+    def test_descend_removes_selected(self):
+        ivm = IVM(4)
+        ivm.position[0] = 1  # select item 1
+        ivm.descend()
+        assert ivm.depth == 1
+        np.testing.assert_array_equal(ivm.matrix[1, :3], [0, 2, 3])
+
+    def test_advance_carries_up(self):
+        ivm = IVM(2)
+        ivm.descend()       # depth 1, prefix (0, 1)
+        ivm.advance()       # row exhausted at depth 1 -> carry to depth 0
+        assert ivm.depth == 0
+        assert ivm.position[0] == 1
+        ivm.descend()
+        assert ivm.prefix() == (1, 0)
+
+    def test_full_enumeration_visits_all_permutations(self):
+        n = 4
+        ivm = IVM(n)
+        seen = set()
+        while not ivm.exhausted:
+            if ivm.at_leaf_row:
+                seen.add(ivm.prefix())
+                ivm.advance()
+            else:
+                ivm.descend()
+        assert seen == set(itertools.permutations(range(n)))
+
+    def test_memory_is_flat_and_constant(self):
+        ivm = IVM(10)
+        expected = 10 * 10 * 8 + 10 * 8 + 8
+        assert ivm.memory_bytes() == expected
+
+    def test_bad_n_raises(self):
+        with pytest.raises(MIPError):
+            IVM(0)
+
+    def test_descend_on_leaf_raises(self):
+        ivm = IVM(2)
+        ivm.descend()
+        with pytest.raises(MIPError):
+            ivm.descend()
+
+
+def brute_force_flowshop(shop):
+    best = np.inf
+    best_perm = None
+    for perm in itertools.permutations(range(shop.num_jobs)):
+        cost = shop.makespan(perm)
+        if cost < best:
+            best, best_perm = cost, perm
+    return best, best_perm
+
+
+class TestPermutationBB:
+    @pytest.mark.parametrize("jobs,machines,seed", [(5, 3, 0), (6, 3, 1), (7, 2, 2)])
+    def test_ivm_finds_optimal_makespan(self, jobs, machines, seed):
+        shop = generate_flowshop(jobs, machines, seed=seed)
+        expected, _ = brute_force_flowshop(shop)
+        res = ivm_branch_and_bound(jobs, shop.lower_bound, shop.makespan)
+        assert res.best_cost == pytest.approx(expected)
+        assert shop.makespan(res.best_permutation) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("jobs,machines,seed", [(5, 3, 0), (6, 3, 1), (7, 2, 2)])
+    def test_linked_list_equivalent(self, jobs, machines, seed):
+        """Both engines visit the same nodes and find the same optimum."""
+        shop = generate_flowshop(jobs, machines, seed=seed)
+        ivm_res = ivm_branch_and_bound(jobs, shop.lower_bound, shop.makespan)
+        ll_res = linked_list_branch_and_bound(jobs, shop.lower_bound, shop.makespan)
+        assert ivm_res.best_cost == pytest.approx(ll_res.best_cost)
+        assert ivm_res.nodes_explored == ll_res.nodes_explored
+        assert ivm_res.leaves_evaluated == ll_res.leaves_evaluated
+        assert ivm_res.pruned == ll_res.pruned
+
+    def test_ivm_memory_smaller_than_linked(self):
+        shop = generate_flowshop(8, 3, seed=3)
+        ivm_res = ivm_branch_and_bound(8, shop.lower_bound, shop.makespan)
+        ll_res = linked_list_branch_and_bound(8, shop.lower_bound, shop.makespan)
+        assert ivm_res.tree_memory_bytes < ll_res.tree_memory_bytes
+
+    def test_pruning_effective(self):
+        shop = generate_flowshop(7, 3, seed=4)
+        res = ivm_branch_and_bound(7, shop.lower_bound, shop.makespan)
+        import math
+
+        full_leaves = math.factorial(7)
+        assert res.leaves_evaluated < full_leaves / 4
+        assert res.pruned > 0
+
+    def test_bound_is_admissible(self):
+        """The LB never exceeds the true best completion of the subtree."""
+        shop = generate_flowshop(6, 3, seed=5)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            k = int(rng.integers(1, 5))
+            prefix = tuple(rng.permutation(6)[:k])
+            remaining = [j for j in range(6) if j not in prefix]
+            best_completion = min(
+                shop.makespan(prefix + perm)
+                for perm in itertools.permutations(remaining)
+            )
+            assert shop.lower_bound(prefix) <= best_completion + 1e-9

@@ -1,0 +1,74 @@
+"""Flow-shop model tests: makespan semantics and bound admissibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProblemFormatError
+from repro.problems.flowshop import FlowShop, generate_flowshop
+
+
+def naive_makespan(times, permutation):
+    """Reference Gantt simulation, cell by cell."""
+    m, _ = times.shape
+    n = len(permutation)
+    completion = np.zeros((m, n))
+    for pos, job in enumerate(permutation):
+        for machine in range(m):
+            ready = completion[machine, pos - 1] if pos else 0.0
+            upstream = completion[machine - 1, pos] if machine else 0.0
+            completion[machine, pos] = max(ready, upstream) + times[machine, job]
+    return float(completion[-1, -1])
+
+
+class TestMakespan:
+    def test_single_machine_is_sum(self):
+        shop = FlowShop(times=np.array([[3.0, 5.0, 2.0]]))
+        assert shop.makespan([0, 1, 2]) == pytest.approx(10.0)
+        assert shop.makespan([2, 0, 1]) == pytest.approx(10.0)
+
+    def test_two_machine_textbook(self):
+        # Johnson's classic 2-machine example.
+        times = np.array([[3.0, 5.0, 1.0], [2.0, 4.0, 7.0]])
+        shop = FlowShop(times=times)
+        assert shop.makespan([2, 1, 0]) == pytest.approx(
+            naive_makespan(times, [2, 1, 0])
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_naive_simulation(self, seed):
+        shop = generate_flowshop(6, 4, seed=seed)
+        rng = np.random.default_rng(seed)
+        perm = list(rng.permutation(6))
+        assert shop.makespan(perm) == pytest.approx(
+            naive_makespan(shop.times, perm)
+        )
+
+    def test_prefix_completion_consistent(self):
+        shop = generate_flowshop(5, 3, seed=1)
+        perm = [3, 1, 4, 0, 2]
+        completion = shop.prefix_completion(perm)
+        assert completion[-1] == pytest.approx(shop.makespan(perm))
+
+    def test_validation(self):
+        with pytest.raises(ProblemFormatError):
+            FlowShop(times=np.array([[-1.0]]))
+        with pytest.raises(ProblemFormatError):
+            generate_flowshop(0, 3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    jobs=st.integers(min_value=2, max_value=6),
+    machines=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_bound_below_any_completion(jobs, machines, seed):
+    """The LB at any prefix never exceeds the makespan of any completion."""
+    shop = generate_flowshop(jobs, machines, seed=seed)
+    rng = np.random.default_rng(seed ^ 0xF00)
+    perm = list(rng.permutation(jobs))
+    for cut in range(jobs):
+        prefix = perm[:cut]
+        assert shop.lower_bound(prefix) <= shop.makespan(perm) + 1e-9

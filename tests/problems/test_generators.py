@@ -1,0 +1,164 @@
+"""Generator determinism, feasibility, and oracle checks."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import ProblemFormatError
+from repro.mip.result import MIPStatus
+from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+from repro.problems.assignment import (
+    generate_assignment,
+    generate_generalized_assignment,
+)
+from repro.problems.facility import generate_facility_location
+from repro.problems.knapsack import generate_knapsack, knapsack_dp_optimal
+from repro.problems.miplib import MINI_MIPLIB, instance_by_name
+from repro.problems.random_mip import generate_random_mip
+from repro.problems.setcover import generate_set_cover
+from repro.problems.unit_commitment import generate_unit_commitment
+
+
+def solve(p, **kw):
+    return BranchAndBoundSolver(p, SolverOptions(**kw)).solve()
+
+
+class TestKnapsack:
+    def test_deterministic(self):
+        a = generate_knapsack(10, seed=3)
+        b = generate_knapsack(10, seed=3)
+        np.testing.assert_array_equal(a.c, b.c)
+        np.testing.assert_array_equal(a.a_ub, b.a_ub)
+
+    def test_correlations(self):
+        for corr in ("uncorrelated", "weak", "strong"):
+            p = generate_knapsack(8, seed=1, correlation=corr)
+            assert p.is_pure_binary
+
+    def test_bad_correlation(self):
+        with pytest.raises(ProblemFormatError):
+            generate_knapsack(5, correlation="nope")
+
+    def test_dp_oracle_against_brute_force(self):
+        import itertools
+
+        p = generate_knapsack(10, seed=7)
+        best = -np.inf
+        for bits in itertools.product([0, 1], repeat=10):
+            x = np.array(bits, dtype=float)
+            if p.is_feasible(x):
+                best = max(best, p.objective(x))
+        dp, x_dp = knapsack_dp_optimal(p)
+        assert dp == pytest.approx(best)
+        assert p.is_feasible(x_dp)
+        assert p.objective(x_dp) == pytest.approx(dp)
+
+
+class TestAssignment:
+    @pytest.mark.parametrize("size", [3, 4])
+    def test_matches_hungarian(self, size):
+        p = generate_assignment(size, seed=size)
+        profit = p.c.reshape(size, size)
+        rows, cols = linear_sum_assignment(-profit)
+        expected = profit[rows, cols].sum()
+        res = solve(p)
+        assert res.status is MIPStatus.OPTIMAL
+        assert res.objective == pytest.approx(expected)
+
+    def test_gap_solvable_and_feasible(self):
+        p = generate_generalized_assignment(3, 6, seed=1)
+        res = solve(p)
+        assert res.status is MIPStatus.OPTIMAL
+        assert p.is_feasible(res.x)
+
+    def test_gap_assignment_rows_hold(self):
+        p = generate_generalized_assignment(3, 6, seed=2)
+        res = solve(p)
+        x = res.x.reshape(3, 6)
+        np.testing.assert_allclose(x.sum(axis=0), np.ones(6), atol=1e-6)
+
+
+class TestSetCover:
+    def test_every_element_coverable(self):
+        p = generate_set_cover(10, 20, seed=0)
+        # all-ones covers everything.
+        assert p.is_feasible(np.ones(20))
+
+    def test_solution_covers(self):
+        p = generate_set_cover(8, 16, seed=1)
+        res = solve(p)
+        assert res.status is MIPStatus.OPTIMAL
+        covered = (-p.a_ub) @ res.x
+        assert np.all(covered >= 1.0 - 1e-6)
+
+
+class TestFacility:
+    def test_solves_and_links_hold(self):
+        p = generate_facility_location(3, 6, seed=0)
+        res = solve(p)
+        assert res.status is MIPStatus.OPTIMAL
+        y = res.x[:3]
+        x = res.x[3:].reshape(3, 6)
+        # Service only from open facilities.
+        for f in range(3):
+            assert np.all(x[f] <= y[f] + 1e-6)
+        np.testing.assert_allclose(x.sum(axis=0), np.ones(6), atol=1e-6)
+
+
+class TestUnitCommitment:
+    def test_mixed_integrality(self):
+        p = generate_unit_commitment(3, 3, seed=0)
+        assert 0 < p.num_integer < p.n  # true mixed program
+
+    def test_solves_and_meets_demand(self):
+        p = generate_unit_commitment(3, 2, seed=1)
+        res = solve(p)
+        assert res.status is MIPStatus.OPTIMAL
+        assert p.is_feasible(res.x)
+
+    def test_commitment_logic(self):
+        g, t = 3, 2
+        p = generate_unit_commitment(g, t, seed=2)
+        res = solve(p)
+        u = res.x[: g * t].reshape(g, t)
+        power = res.x[g * t :].reshape(g, t)
+        # No power from an off generator.
+        assert np.all(power[u < 0.5] <= 1e-6)
+
+
+class TestRandomMIP:
+    def test_planted_point_feasible(self):
+        p = generate_random_mip(10, 6, seed=0, density=0.5)
+        res = solve(p)
+        assert res.status is MIPStatus.OPTIMAL
+
+    @pytest.mark.parametrize("density", [0.1, 0.5, 1.0])
+    def test_density_respected(self, density):
+        p = generate_random_mip(40, 20, seed=1, density=density)
+        actual = np.count_nonzero(p.a_ub) / p.a_ub.size
+        assert abs(actual - density) < 0.15
+
+    def test_bad_density(self):
+        with pytest.raises(ProblemFormatError):
+            generate_random_mip(5, 5, density=0.0)
+
+
+class TestMiniMiplib:
+    def test_registry_complete(self):
+        assert len(MINI_MIPLIB) >= 10
+
+    @pytest.mark.parametrize("name", sorted(MINI_MIPLIB))
+    def test_all_instances_construct(self, name):
+        p = instance_by_name(name)
+        assert p.n >= 1
+
+    def test_unknown_instance(self):
+        with pytest.raises(ProblemFormatError):
+            instance_by_name("nope")
+
+    @pytest.mark.parametrize("name", ["knap-20", "cover-15x30", "gap-3x8", "uc-3x4"])
+    def test_selected_instances_solve(self, name):
+        p = instance_by_name(name)
+        res = solve(p, node_limit=5000)
+        assert res.status is MIPStatus.OPTIMAL
+        assert p.is_feasible(res.x)

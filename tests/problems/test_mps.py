@@ -1,0 +1,131 @@
+"""MPS round-trip tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemFormatError
+from repro.mip.result import MIPStatus
+from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+from repro.problems.knapsack import generate_knapsack
+from repro.problems.mps import read_mps, write_mps
+from repro.problems.random_mip import generate_random_mip
+from repro.problems.unit_commitment import generate_unit_commitment
+
+
+def roundtrip(problem):
+    buf = io.StringIO()
+    write_mps(problem, buf)
+    buf.seek(0)
+    return read_mps(buf)
+
+
+def assert_equivalent(a, b):
+    np.testing.assert_allclose(a.c, b.c)
+    np.testing.assert_array_equal(a.integer, b.integer)
+    np.testing.assert_allclose(a.lb, b.lb)
+    np.testing.assert_allclose(a.ub, b.ub)
+    if a.a_ub is None:
+        assert b.a_ub is None
+    else:
+        np.testing.assert_allclose(a.a_ub, b.a_ub)
+        np.testing.assert_allclose(a.b_ub, b.b_ub)
+    if a.a_eq is None:
+        assert b.a_eq is None
+    else:
+        np.testing.assert_allclose(a.a_eq, b.a_eq)
+        np.testing.assert_allclose(a.b_eq, b.b_eq)
+
+
+class TestRoundTrip:
+    def test_knapsack(self):
+        p = generate_knapsack(12, seed=0)
+        assert_equivalent(p, roundtrip(p))
+
+    def test_random_mixed(self):
+        p = generate_random_mip(8, 5, seed=1, integer_fraction=0.5)
+        assert_equivalent(p, roundtrip(p))
+
+    def test_unit_commitment_with_equalities(self):
+        p = generate_unit_commitment(2, 2, seed=0)
+        assert_equivalent(p, roundtrip(p))
+
+    def test_solution_survives_roundtrip(self):
+        p = generate_knapsack(10, seed=5)
+        direct = BranchAndBoundSolver(p, SolverOptions()).solve()
+        via_mps = BranchAndBoundSolver(roundtrip(p), SolverOptions()).solve()
+        assert direct.objective == pytest.approx(via_mps.objective)
+
+    def test_file_roundtrip(self, tmp_path):
+        p = generate_knapsack(6, seed=2)
+        path = str(tmp_path / "model.mps")
+        write_mps(p, path)
+        assert_equivalent(p, read_mps(path))
+
+
+class TestReader:
+    def test_minimization_negates(self):
+        text = """NAME test
+ROWS
+ N  OBJ
+ L  R0
+COLUMNS
+    X0        OBJ       2.0
+    X0        R0        1.0
+RHS
+    RHS       R0        4.0
+BOUNDS
+ UP BND       X0        10.0
+ENDATA
+"""
+        p = read_mps(io.StringIO(text))
+        assert p.c[0] == pytest.approx(-2.0)  # min 2x == max -2x
+
+    def test_g_rows_negated(self):
+        text = """NAME test
+OBJSENSE
+    MAX
+ROWS
+ N  OBJ
+ G  R0
+COLUMNS
+    X0        OBJ       1.0
+    X0        R0        1.0
+RHS
+    RHS       R0        2.0
+BOUNDS
+ UP BND       X0        10.0
+ENDATA
+"""
+        p = read_mps(io.StringIO(text))
+        np.testing.assert_allclose(p.a_ub, [[-1.0]])
+        np.testing.assert_allclose(p.b_ub, [-2.0])
+
+    def test_binary_bound(self):
+        text = """NAME test
+OBJSENSE
+    MAX
+ROWS
+ N  OBJ
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X0        OBJ       1.0
+    MARKER                 'MARKER'                 'INTEND'
+BOUNDS
+ BV BND       X0
+ENDATA
+"""
+        p = read_mps(io.StringIO(text))
+        assert p.integer[0]
+        assert p.lb[0] == 0.0 and p.ub[0] == 1.0
+
+    def test_ranges_unsupported(self):
+        text = "NAME t\nROWS\n N OBJ\nRANGES\n    RNG  R0  1.0\nENDATA\n"
+        with pytest.raises(ProblemFormatError):
+            read_mps(io.StringIO(text))
+
+    def test_empty_columns_rejected(self):
+        text = "NAME t\nROWS\n N OBJ\nENDATA\n"
+        with pytest.raises(ProblemFormatError):
+            read_mps(io.StringIO(text))

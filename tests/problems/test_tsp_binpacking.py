@@ -1,0 +1,76 @@
+"""TSP (MTZ) and bin-packing generator tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemFormatError
+from repro.mip.result import MIPStatus
+from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+from repro.problems.binpacking import (
+    first_fit_decreasing_bins,
+    generate_bin_packing,
+)
+from repro.problems.tsp import generate_tsp, tour_from_solution, tour_length
+
+
+def brute_force_tsp(num_cities, seed):
+    best = np.inf
+    for perm in itertools.permutations(range(1, num_cities)):
+        tour = [0] + list(perm)
+        best = min(best, tour_length(num_cities, seed, tour))
+    return best
+
+
+class TestTSP:
+    @pytest.mark.parametrize("n,seed", [(4, 0), (5, 1)])
+    def test_matches_brute_force(self, n, seed):
+        p = generate_tsp(n, seed=seed)
+        res = BranchAndBoundSolver(p, SolverOptions(node_limit=20000)).solve()
+        assert res.status is MIPStatus.OPTIMAL
+        expected = brute_force_tsp(n, seed)
+        assert -res.objective == pytest.approx(expected)
+
+    def test_solution_is_a_tour(self):
+        n, seed = 5, 2
+        p = generate_tsp(n, seed=seed)
+        res = BranchAndBoundSolver(p, SolverOptions(node_limit=20000)).solve()
+        tour = tour_from_solution(p, res.x, n)
+        assert sorted(tour) == list(range(n))
+        assert tour_length(n, seed, tour) == pytest.approx(-res.objective)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ProblemFormatError):
+            generate_tsp(2)
+
+    def test_is_mixed_integer(self):
+        p = generate_tsp(5, seed=0)
+        assert 0 < p.num_integer < p.n  # MTZ u vars are continuous
+
+
+class TestBinPacking:
+    def test_optimal_bin_count_matches_or_beats_ffd(self):
+        sizes_seed = 3
+        p = generate_bin_packing(6, 4, seed=sizes_seed)
+        res = BranchAndBoundSolver(p, SolverOptions(node_limit=50000)).solve()
+        assert res.status is MIPStatus.OPTIMAL
+        used = int(round(-(res.objective - 0)))  # epsilon terms < 1e-2
+        rng = np.random.default_rng(sizes_seed)
+        sizes = rng.uniform(20.0, 60.0, size=6).round()
+        ffd = first_fit_decreasing_bins(sizes, 100.0)
+        bins_used = int(np.sum(res.x[:4] > 0.5))
+        assert bins_used <= ffd
+        # Every item in exactly one bin; capacities respected.
+        x = res.x[4:].reshape(6, 4)
+        np.testing.assert_allclose(x.sum(axis=1), np.ones(6), atol=1e-6)
+        for b in range(4):
+            assert sizes @ x[:, b] <= 100.0 + 1e-6
+
+    def test_oversized_item_rejected(self):
+        with pytest.raises(ProblemFormatError):
+            generate_bin_packing(3, 2, seed=0, capacity=10.0)
+
+    def test_ffd_oracle_sane(self):
+        assert first_fit_decreasing_bins(np.array([60, 60, 40, 40]), 100) == 2
+        assert first_fit_decreasing_bins(np.array([51, 51, 51]), 100) == 3

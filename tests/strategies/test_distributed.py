@@ -1,0 +1,76 @@
+"""Distributed (supervisor–worker) branch-and-bound tests."""
+
+import numpy as np
+import pytest
+
+from repro.mip.problem import MIPProblem
+from repro.mip.snapshot import SearchSnapshot, resume_from_snapshot
+from repro.problems.knapsack import generate_knapsack, knapsack_dp_optimal
+from repro.strategies.distributed import solve_distributed
+
+
+PROBLEM = generate_knapsack(16, seed=4)
+EXPECTED, _ = knapsack_dp_optimal(PROBLEM)
+
+
+class TestDistributedCorrectness:
+    @pytest.mark.parametrize("workers", [0, 1, 2, 4])
+    def test_optimum_independent_of_worker_count(self, workers):
+        res = solve_distributed(PROBLEM, num_workers=workers)
+        assert res.objective == pytest.approx(EXPECTED)
+
+    def test_same_nodes_regardless_of_balancing_mode(self):
+        dynamic = solve_distributed(PROBLEM, num_workers=3)
+        assert dynamic.objective == pytest.approx(EXPECTED)
+        assert dynamic.nodes_evaluated > 0
+
+    def test_deterministic(self):
+        a = solve_distributed(PROBLEM, num_workers=3)
+        b = solve_distributed(PROBLEM, num_workers=3)
+        assert a.objective == b.objective
+        assert a.nodes_evaluated == b.nodes_evaluated
+        assert a.makespan_seconds == b.makespan_seconds
+
+
+class TestScalingBehaviour:
+    def test_parallel_speedup_over_sequential(self):
+        hard = generate_knapsack(24, seed=11, correlation="strong")
+        seq = solve_distributed(hard, num_workers=0)
+        par = solve_distributed(hard, num_workers=8)
+        assert par.objective == pytest.approx(seq.objective)
+        assert par.makespan_seconds < seq.makespan_seconds
+        speedup = seq.makespan_seconds / par.makespan_seconds
+        assert speedup > 1.5
+
+    def test_work_distribution_tracked(self):
+        res = solve_distributed(PROBLEM, num_workers=4)
+        assert len(res.per_worker) == 4
+        assert sum(res.per_worker) <= res.nodes_evaluated  # ramp-up on rank 0
+
+    def test_messages_counted(self):
+        res = solve_distributed(PROBLEM, num_workers=2)
+        assert res.messages > 0
+        assert res.comm_bytes > 0
+
+
+class TestDistributedSnapshots:
+    def test_checkpoints_capture_open_boxes(self):
+        res = solve_distributed(PROBLEM, num_workers=3, checkpoint_every=5)
+        assert res.snapshots, "expected at least one checkpoint"
+
+    def test_restart_from_distributed_checkpoint(self):
+        """§2.1: the distributed snapshot also preserves the optimum."""
+        res = solve_distributed(PROBLEM, num_workers=3, checkpoint_every=5)
+        snap_raw = res.snapshots[0]
+        leaves = [(lb.copy(), ub.copy()) for (lb, ub, _depth) in snap_raw.tasks]
+        snapshot = SearchSnapshot(
+            leaves=leaves,
+            incumbent_objective=(
+                snap_raw.incumbent if snap_raw.incumbent is not None else -np.inf
+            ),
+        )
+        resumed = resume_from_snapshot(PROBLEM, snapshot)
+        best = resumed.objective
+        if snap_raw.incumbent is not None:
+            best = max(best, snap_raw.incumbent)
+        assert best == pytest.approx(EXPECTED)

@@ -1,0 +1,68 @@
+"""CLI tests (direct main() invocation, no subprocesses)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.problems.knapsack import generate_knapsack, knapsack_dp_optimal
+from repro.problems.mps import write_mps
+
+
+@pytest.fixture
+def model_path(tmp_path):
+    problem = generate_knapsack(12, seed=5)
+    path = str(tmp_path / "model.mps")
+    write_mps(problem, path)
+    return path
+
+
+class TestSolve:
+    def test_plain_solve(self, model_path, capsys):
+        assert main(["solve", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "status    : optimal" in out
+        expected, _ = knapsack_dp_optimal(generate_knapsack(12, seed=5))
+        assert f"{expected:.6g}" in out
+
+    def test_solve_with_strategy(self, model_path, capsys):
+        assert main(["solve", model_path, "--strategy", "cpu_orchestrated"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "kernels" in out
+
+    def test_solve_with_cuts(self, model_path, capsys):
+        assert main(["solve", model_path, "--cut-rounds", "2"]) == 0
+
+    def test_checkpoint_restart_cycle(self, model_path, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt.json")
+        assert (
+            main(["solve", model_path, "--node-limit", "3", "--checkpoint", ckpt])
+            in (0, 1)
+        )
+        capsys.readouterr()
+        assert main(["solve", model_path, "--restart-from", ckpt]) == 0
+        out = capsys.readouterr().out
+        expected, _ = knapsack_dp_optimal(generate_knapsack(12, seed=5))
+        assert f"{expected:.6g}" in out
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["solve", "/nonexistent.mps"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGenerateInfoList:
+    def test_generate_then_info(self, tmp_path, capsys):
+        out_path = str(tmp_path / "gen.mps")
+        assert main(["generate", "knap-20", "-o", out_path]) == 0
+        capsys.readouterr()
+        assert main(["info", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "variables" in out and "20" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "knap-20" in out and "uc-3x4" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,26 @@
+"""Smoke tests: the fast examples must run end-to-end without error."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "batched_knapsack_gpu.py",
+    "device_timeline.py",
+    "flowshop_ivm.py",
+    "sensitivity_and_fixing.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

@@ -1,0 +1,145 @@
+"""Tests for metrics, reporting, config, and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.config import DEFAULT_TOLERANCES, Config, SolverDefaults, Tolerances
+from repro.metrics import Metrics
+from repro.reporting import (
+    format_bytes,
+    format_seconds,
+    format_value,
+    render_series,
+    render_table,
+    sparkline,
+)
+
+
+class TestMetrics:
+    def test_counters(self):
+        m = Metrics()
+        m.inc("a")
+        m.inc("a", 4)
+        assert m.count("a") == 5
+        assert m.count("missing") == 0
+
+    def test_times(self):
+        m = Metrics()
+        m.add_time("t", 1.5)
+        m.add_time("t", 0.5)
+        assert m.time("t") == pytest.approx(2.0)
+        assert m.time("missing") == 0.0
+
+    def test_merge(self):
+        a, b = Metrics(), Metrics()
+        a.inc("x", 2)
+        b.inc("x", 3)
+        b.add_time("t", 1.0)
+        a.merge(b)
+        assert a.count("x") == 5
+        assert a.time("t") == 1.0
+
+    def test_snapshot_diff(self):
+        m = Metrics()
+        m.inc("k", 10)
+        before = m.snapshot()
+        m.inc("k", 7)
+        m.add_time("t", 2.0)
+        delta = m.diff(before)
+        assert delta.count("k") == 7
+        assert delta.time("t") == 2.0
+        # Snapshot unaffected by later changes.
+        assert before.count("k") == 10
+
+    def test_reset(self):
+        m = Metrics()
+        m.inc("x")
+        m.reset()
+        assert m.count("x") == 0
+
+    def test_items_iterates_both(self):
+        m = Metrics()
+        m.inc("c")
+        m.add_time("t", 1.0)
+        keys = dict(m.items())
+        assert set(keys) == {"c", "t"}
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(12345) == "12,345"
+        assert format_value(0.0) == "0"
+        assert format_value(1.5e-9) == "1.500e-09"
+        assert format_value("text") == "text"
+
+    def test_format_seconds(self):
+        assert format_seconds(0) == "0"
+        assert format_seconds(1.5) == "1.5 s"
+        assert "ms" in format_seconds(2e-3)
+        assert "µs" in format_seconds(3e-6)
+        assert "ns" in format_seconds(4e-9)
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2 KiB"
+        assert "GiB" in format_bytes(3 * 1024**3)
+
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bb"], [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1  # equal widths
+
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([1, 1, 1]) == "▁▁▁"
+        spark = sparkline([0, 5, 10])
+        assert spark[0] == "▁" and spark[-1] == "█"
+
+    def test_render_series_contains_sparkline(self):
+        text = render_series("x", [1, 2], [("y", [3.0, 9.0])])
+        assert "y" in text and "█" in text
+
+
+class TestConfig:
+    def test_integrality_check(self):
+        assert DEFAULT_TOLERANCES.is_integral(2.0 + 1e-9)
+        assert not DEFAULT_TOLERANCES.is_integral(2.3)
+
+    def test_simplex_limit_scales(self):
+        d = SolverDefaults()
+        assert d.simplex_iter_limit(100, 100) > d.simplex_iter_limit(1, 1)
+
+    def test_tolerances_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_TOLERANCES.feasibility = 1.0
+
+    def test_config_defaults(self):
+        cfg = Config()
+        assert isinstance(cfg.tolerances, Tolerances)
+        assert cfg.seed == 0
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(errors.SingularMatrixError, errors.LinearAlgebraError)
+        assert issubclass(errors.LinearAlgebraError, errors.ReproError)
+        assert issubclass(errors.DeviceMemoryError, errors.DeviceError)
+        assert issubclass(errors.DeadlockError, errors.CommError)
+        assert issubclass(errors.MIPError, errors.SolverError)
+
+    def test_device_memory_error_fields(self):
+        err = errors.DeviceMemoryError(100, 40, 200)
+        assert err.requested == 100
+        assert err.free == 40
+        assert "100 B" in str(err)
+
+    def test_iteration_limit_fields(self):
+        err = errors.IterationLimitError("simplex", 500)
+        assert "simplex" in str(err) and "500" in str(err)
+
+    def test_catch_all_library_errors(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SparseFormatError("bad")
