@@ -1,4 +1,4 @@
-.PHONY: install test bench examples clean
+.PHONY: install test bench serve-bench examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,6 +8,9 @@ test:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only -q
+
+serve-bench:
+	python -m pytest benchmarks/bench_s1_serve_throughput.py --benchmark-only -q
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -23,7 +23,7 @@ from repro.mip.snapshot import capture_snapshot, resume_from_snapshot
 from repro.mip.solver import BranchAndBoundSolver, SolverOptions
 from repro.problems.miplib import MINI_MIPLIB, instance_by_name
 from repro.problems.mps import read_mps, write_mps
-from repro.reporting import format_bytes, format_seconds, render_table
+from repro.reporting import format_bytes, format_seconds, render_metrics, render_table
 from repro.strategies.runner import STRATEGIES, run_strategy
 
 
@@ -62,6 +62,29 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("model")
 
     sub.add_parser("list", help="list mini-MIPLIB instances")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="sweep the batching solve service over batching policies (§5.5)",
+    )
+    serve.add_argument("--requests", type=int, default=120)
+    serve.add_argument("--distinct", type=int, default=40, help="distinct problems in the pool")
+    serve.add_argument("--items", type=int, default=12, help="knapsack items per problem")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument(
+        "--mean-interarrival", type=float, default=2e-5,
+        help="mean simulated seconds between arrivals",
+    )
+    serve.add_argument(
+        "--batch-sizes", default="1,8,32",
+        help="comma-separated max batch sizes to sweep",
+    )
+    serve.add_argument("--max-wait", type=float, default=2e-3)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--show-metrics", action="store_true",
+        help="print the per-stage metrics of the last configuration",
+    )
     return parser
 
 
@@ -155,6 +178,77 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    """``repro serve-bench``: offered load vs batching policy sweep."""
+    from repro.serve import BatchingPolicy, lp_pool, run_load, synthetic_stream
+
+    pool = lp_pool(args.distinct, num_items=args.items, seed=args.seed)
+    stream = synthetic_stream(
+        pool, args.requests, args.mean_interarrival, seed=args.seed
+    )
+    try:
+        batch_sizes = [int(tok) for tok in args.batch_sizes.split(",") if tok]
+    except ValueError:
+        print(f"error: bad --batch-sizes {args.batch_sizes!r}", file=sys.stderr)
+        return 2
+    if not batch_sizes:
+        print("error: --batch-sizes is empty", file=sys.stderr)
+        return 2
+
+    rows = []
+    last = None
+    for batch_size in batch_sizes:
+        policy = BatchingPolicy(max_batch_size=batch_size, max_wait=args.max_wait)
+        summary = run_load(stream, policy=policy, num_workers=args.workers)
+        last = summary
+        rows.append(
+            (
+                batch_size,
+                round(summary["throughput"]),
+                summary["batches"],
+                f"{summary['dedup_rate']:.0%}",
+                format_seconds(summary["mean_queue_wait"]),
+                format_seconds(summary["mean_device"]),
+                format_seconds(summary["mean_latency"]),
+                format_seconds(summary["makespan"]),
+            )
+        )
+    print(
+        render_table(
+            [
+                "batch",
+                "req/s",
+                "batches",
+                "dedup",
+                "queue wait",
+                "device",
+                "latency",
+                "makespan",
+            ],
+            rows,
+            title=(
+                f"serve-bench: {args.requests} requests "
+                f"({args.distinct} distinct), {args.workers} workers"
+            ),
+        )
+    )
+    if args.show_metrics and last is not None:
+        print()
+        print(
+            render_metrics(
+                last["service"].metrics,
+                title=f"per-stage metrics (batch={batch_sizes[-1]})",
+                prefix="serve.",
+            )
+        )
+        print(
+            render_metrics(
+                last["service"].metrics, prefix="time.serve."
+            )
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -163,6 +257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": cmd_generate,
         "info": cmd_info,
         "list": cmd_list,
+        "serve-bench": cmd_serve_bench,
     }
     try:
         return handlers[args.command](args)

@@ -59,6 +59,19 @@ class DeviceGroup:
             raise DeviceError(f"device rank {rank} out of range 0..{self.size - 1}")
         return self.devices[rank]
 
+    def least_loaded(self) -> int:
+        """Rank of the member whose clock is furthest behind (ties → lowest).
+
+        A serving scheduler uses this to keep every member busy: the
+        device with the earliest clock is the first one free to accept
+        the next batch.
+        """
+        best = 0
+        for rank in range(1, self.size):
+            if self.devices[rank].clock.now < self.devices[best].clock.now:
+                best = rank
+        return best
+
     def peer_transfer(self, src: int, dst: int, nbytes: int) -> float:
         """Direct device→device copy; both clocks advance together."""
         if src == dst:

@@ -118,3 +118,39 @@ class MIPError(SolverError):
 
 class ProblemFormatError(SolverError):
     """A problem definition (or MPS file) is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Solve service (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for solve-service (``repro.serve``) failures."""
+
+
+class ServiceSaturated(ServiceError):
+    """Admission control rejected a request because the queue is full."""
+
+    def __init__(self, queue_depth: int, limit: int):
+        self.queue_depth = queue_depth
+        self.limit = limit
+        super().__init__(
+            f"service saturated: {queue_depth} requests queued "
+            f"(admission limit {limit})"
+        )
+
+
+class RequestTimeout(ServiceError):
+    """A queued request exceeded its per-request timeout before dispatch."""
+
+    def __init__(self, request_id: int, waited: float):
+        self.request_id = request_id
+        self.waited = waited
+        super().__init__(
+            f"request {request_id} timed out after {waited:.6g}s in queue"
+        )
+
+
+class ServiceClosed(ServiceError):
+    """An operation was issued against a service that has been shut down."""

@@ -49,6 +49,21 @@ class BatchLPResult:
         return all(s is LPStatus.OPTIMAL for s in self.statuses)
 
 
+def lockstep_compatible(lp: LinearProgram) -> bool:
+    """True when ``lp`` meets the lockstep preconditions.
+
+    Inequality form, ``lb == 0`` and ``b ≥ 0`` (feasible slack basis) —
+    the per-problem requirements of :func:`solve_lp_batch`.  Shape and
+    finite-ub-pattern agreement across the batch is the caller's (the
+    serving layer's bucketing) responsibility.
+    """
+    return (
+        lp.num_eq_rows == 0
+        and not np.any(lp.lb != 0.0)
+        and (lp.b_ub is None or not np.any(lp.b_ub < 0))
+    )
+
+
 def _standardize_batch(lps: List[LinearProgram]):
     """Stack inequality-form LPs into batched standard-form arrays."""
     if not lps:
@@ -176,4 +191,35 @@ def solve_lp_batch(
         objectives[t] = float(c[t, :n] @ x[t])
     return BatchLPResult(
         statuses=statuses, objectives=objectives, x=x, iterations=iterations
+    )
+
+
+def solve_lp_batch_on_device(
+    lps: List[LinearProgram],
+    device,
+    stream=None,
+    max_iterations: Optional[int] = None,
+) -> BatchLPResult:
+    """Solve a batch charging one batched kernel sequence to ``device``.
+
+    The MAGMA-style cost shape of §5.5 (and experiment E7): one batched
+    factorization up front, then two batched triangular solves plus one
+    batched GEMM per lockstep iteration, each sized by the number of
+    still-active members.  ``device`` is a :class:`repro.device.gpu.Device`;
+    numerics are exact regardless of the cost model.
+    """
+    from repro.device import kernels as K
+
+    state = {"primed": False}
+
+    def on_iteration(k: int, m: int, n: int) -> None:
+        if not state["primed"]:
+            device._charge(K.batched_getrf_kernel(k, m), stream)
+            state["primed"] = True
+        device._charge(K.batched_trsv_kernel(k, m), stream)
+        device._charge(K.batched_trsv_kernel(k, m), stream)
+        device._charge(K.batched_gemm_kernel(k, 1, n, m), stream)
+
+    return solve_lp_batch(
+        lps, max_iterations=max_iterations, on_iteration=on_iteration
     )

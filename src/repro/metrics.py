@@ -72,6 +72,17 @@ class Metrics:
                 out.times[key] = delta
         return out
 
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """Structured ``{"counters": ..., "times": ...}`` view.
+
+        Plain dicts with sorted keys — the stable form services and
+        benchmarks emit instead of poking at ``counters``/``times``.
+        """
+        return {
+            "counters": {k: int(v) for k, v in sorted(self.counters.items())},
+            "times": {k: float(v) for k, v in sorted(self.times.items())},
+        }
+
     def items(self) -> Iterator[Tuple[str, float]]:
         """Iterate ``(name, value)`` over counters then time buckets."""
         yield from self.counters.items()

@@ -57,10 +57,13 @@ class BatchedNodeSolver:
         problem: MIPProblem,
         options: Optional[BatchedSolverOptions] = None,
         spec: DeviceSpec = V100,
+        device: Optional[Device] = None,
     ):
         self.problem = problem
         self.options = options or BatchedSolverOptions()
-        self.device = Device(spec)
+        # Callers (e.g. the serving layer's worker pool) may supply the
+        # device so several solves share one clock and metrics stream.
+        self.device = device if device is not None else Device(spec)
         self.stats = MIPStats()
         self.rounds = 0
         self._tol = DEFAULT_CONFIG.tolerances

@@ -72,6 +72,27 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_metrics(metrics, title: Optional[str] = None, prefix: Optional[str] = None) -> str:
+    """Table of a :class:`repro.metrics.Metrics` object's buckets.
+
+    Counters render as counts, time buckets as engineering-style times;
+    ``prefix`` keeps only keys starting with it (e.g. ``"serve."``).
+    The object is read through :meth:`Metrics.to_dict`, so any mapping
+    with that method works.
+    """
+    data = metrics.to_dict()
+    rows: List[tuple] = []
+    for name, value in data["counters"].items():
+        if prefix and not name.startswith(prefix):
+            continue
+        rows.append((name, value))
+    for name, value in data["times"].items():
+        if prefix and not name.startswith(prefix):
+            continue
+        rows.append((name, format_seconds(value)))
+    return render_table(["metric", "value"], rows, title=title)
+
+
 def sparkline(values: Sequence[Number]) -> str:
     """One-line unicode sparkline of a series."""
     values = [float(v) for v in values]

@@ -1,0 +1,154 @@
+"""Dynamic batching policy and shape-compatibility bucketing.
+
+The §5.5 throughput lever is coalescing many *compatible* small problems
+into one device-resident batch.  Compatibility is structural: the
+lockstep batched simplex needs every member to share ``(m, n)`` and the
+finite-upper-bound pattern, and MIPs can only share a concurrent round
+with other MIPs.  :func:`bucket_key` maps a problem to its
+compatibility class; the :class:`BatchQueue` keeps one FIFO per class.
+
+A batch is flushed when either trigger fires:
+
+- **size** — a bucket reaches ``max_batch_size`` members;
+- **deadline** — the oldest member has waited ``max_wait`` simulated
+  seconds (bounded latency for partial batches under light load).
+
+``max_queue_depth`` bounds the total number of queued requests — the
+admission-control knob the service enforces with
+:class:`repro.errors.ServiceSaturated`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.lp.batch_simplex import lockstep_compatible
+from repro.mip.problem import MIPProblem
+from repro.serve.request import Problem, SolveRequest
+
+BucketKey = Tuple
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Knobs of the dynamic batcher (see module docstring)."""
+
+    #: Flush a bucket once it holds this many requests.
+    max_batch_size: int = 16
+    #: Flush a bucket once its oldest member waited this long (simulated s).
+    max_wait: float = 2e-3
+    #: Admission control: max total queued (undispatched) requests.
+    max_queue_depth: int = 256
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ServiceError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait < 0.0:
+            raise ServiceError(f"max_wait must be >= 0, got {self.max_wait}")
+        if self.max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+
+
+def bucket_key(problem: Problem) -> BucketKey:
+    """Compatibility class of a problem.
+
+    - ``("mip", n, m_ub, m_eq)`` — MIPs of one shape share concurrent
+      batched-node rounds;
+    - ``("lp", n, m_ub, ub_pattern)`` — lockstep-capable LPs sharing a
+      shape *and* finite-ub pattern can run one SIMD tableau batch;
+    - ``("lp-solo", n, m_ub, m_eq)`` — LPs outside the lockstep
+      preconditions (equality rows, shifted bounds, negative rhs) are
+      still grouped for concurrent-stream execution.
+    """
+    if isinstance(problem, MIPProblem):
+        m_ub = 0 if problem.a_ub is None else problem.a_ub.shape[0]
+        m_eq = 0 if problem.a_eq is None else problem.a_eq.shape[0]
+        return ("mip", problem.n, m_ub, m_eq)
+    if lockstep_compatible(problem):
+        pattern = np.isfinite(problem.ub).tobytes()
+        return ("lp", problem.n, problem.num_ub_rows, pattern)
+    return ("lp-solo", problem.n, problem.num_ub_rows, problem.num_eq_rows)
+
+
+class BatchQueue:
+    """Per-compatibility-class FIFOs with deadline bookkeeping.
+
+    Pure data structure — no clock of its own.  The service asks for the
+    earliest pending event (:meth:`next_deadline`, :meth:`next_timeout`)
+    and pops batches when a trigger fires.  All tie-breaks are
+    deterministic: earliest time wins, then first-created bucket / lowest
+    request id.
+    """
+
+    def __init__(self, policy: BatchingPolicy):
+        self.policy = policy
+        self._buckets: "OrderedDict[BucketKey, List[SolveRequest]]" = OrderedDict()
+
+    @property
+    def depth(self) -> int:
+        """Total queued (undispatched) requests across all buckets."""
+        return sum(len(reqs) for reqs in self._buckets.values())
+
+    def bucket_len(self, key: BucketKey) -> int:
+        """Queued requests in one bucket."""
+        return len(self._buckets.get(key, ()))
+
+    def nonempty_keys(self) -> List[BucketKey]:
+        """Bucket keys holding requests, in bucket-creation order."""
+        return [k for k, reqs in self._buckets.items() if reqs]
+
+    def push(self, request: SolveRequest) -> BucketKey:
+        """Append a request to its compatibility bucket; returns the key."""
+        key = bucket_key(request.problem)
+        self._buckets.setdefault(key, []).append(request)
+        return key
+
+    def pop_batch(self, key: BucketKey) -> List[SolveRequest]:
+        """Remove and return up to ``max_batch_size`` oldest requests."""
+        reqs = self._buckets.get(key, [])
+        take = min(self.policy.max_batch_size, len(reqs))
+        batch, self._buckets[key] = reqs[:take], reqs[take:]
+        return batch
+
+    def remove(self, request: SolveRequest) -> None:
+        """Drop one queued request (timeout handling)."""
+        for reqs in self._buckets.values():
+            if request in reqs:
+                reqs.remove(request)
+                return
+
+    def next_deadline(self) -> Optional[Tuple[float, BucketKey]]:
+        """Earliest ``(oldest arrival + max_wait, bucket)`` flush event."""
+        best: Optional[Tuple[float, BucketKey]] = None
+        for key, reqs in self._buckets.items():
+            if not reqs:
+                continue
+            when = reqs[0].arrival_time + self.policy.max_wait
+            if best is None or when < best[0]:
+                best = (when, key)
+        return best
+
+    def next_timeout(self) -> Optional[Tuple[float, SolveRequest]]:
+        """Earliest per-request timeout event among queued requests."""
+        best: Optional[Tuple[float, SolveRequest]] = None
+        for reqs in self._buckets.values():
+            for req in reqs:
+                deadline = req.deadline
+                if not np.isfinite(deadline):
+                    continue
+                if (
+                    best is None
+                    or deadline < best[0]
+                    or (deadline == best[0] and req.request_id < best[1].request_id)
+                ):
+                    best = (deadline, req)
+        return best

@@ -1,0 +1,153 @@
+"""Solve requests, responses, and canonical problem fingerprints.
+
+The serving layer (paper §5.5's "many small concurrent problems" regime)
+speaks in :class:`SolveRequest` / :class:`SolveResponse` pairs.  Each
+request carries a problem (an LP or a MIP), a simulated arrival time,
+and an optional queue timeout; each response carries the solver outcome
+plus the per-stage timestamps (arrival → batch formed → device start →
+completion) the service's observability is built on.
+
+:func:`fingerprint` is the canonical content hash used by the result
+cache and by request coalescing: two problems with identical data (the
+instance *name* is deliberately excluded) share a fingerprint, so a
+duplicate request never hits the device twice.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import RequestTimeout, ServiceError
+from repro.lp.problem import LinearProgram
+from repro.mip.problem import MIPProblem
+
+Problem = Union[LinearProgram, MIPProblem]
+
+
+def _feed(digest, tag: str, arr: Optional[np.ndarray]) -> None:
+    if arr is None:
+        digest.update(f"{tag}:none;".encode())
+        return
+    a = np.ascontiguousarray(arr)
+    digest.update(f"{tag}:{a.dtype.str}:{a.shape};".encode())
+    digest.update(a.tobytes())
+
+
+def fingerprint(problem: Problem) -> str:
+    """Canonical content hash of a problem (instance name excluded)."""
+    digest = hashlib.sha256()
+    kind = "mip" if isinstance(problem, MIPProblem) else "lp"
+    digest.update(kind.encode())
+    for tag in ("c", "a_ub", "b_ub", "a_eq", "b_eq", "lb", "ub"):
+        _feed(digest, tag, getattr(problem, tag))
+    if kind == "mip":
+        _feed(digest, "integer", problem.integer)
+    return digest.hexdigest()
+
+
+class Outcome(enum.Enum):
+    """Terminal serving outcome of one request."""
+
+    #: The solver reached a terminal answer (optimal/infeasible/unbounded).
+    OK = "ok"
+    #: The request's queue timeout elapsed before its batch was formed.
+    TIMEOUT = "timeout"
+    #: The solver failed to reach a terminal answer (iteration limit, …).
+    FAILED = "failed"
+
+
+@dataclass
+class SolveRequest:
+    """One solve request in the service's simulated timeline."""
+
+    problem: Problem
+    #: Simulated arrival time (seconds); submissions must be time-ordered.
+    arrival_time: float = 0.0
+    #: Max simulated seconds the request may wait in queue (None = forever).
+    timeout: Optional[float] = None
+    #: Assigned by the service at admission.
+    request_id: int = -1
+    #: Canonical content hash; computed by the service at admission.
+    fingerprint: str = ""
+
+    @property
+    def kind(self) -> str:
+        """``"mip"`` or ``"lp"``."""
+        return "mip" if isinstance(self.problem, MIPProblem) else "lp"
+
+    @property
+    def deadline(self) -> float:
+        """Absolute time at which the queue timeout fires (inf if none)."""
+        if self.timeout is None:
+            return np.inf
+        return self.arrival_time + self.timeout
+
+
+@dataclass
+class SolveResponse:
+    """Per-request result with per-stage timestamps.
+
+    Stage boundaries: ``arrival_time`` (admitted) → ``dispatch_time``
+    (its batch was formed) → ``start_time`` (the batch began executing
+    on a worker device) → ``completion_time`` (results available).
+    """
+
+    request_id: int
+    fingerprint: str
+    outcome: Outcome
+    #: Solver status string (``LPStatus``/``MIPStatus`` value), "" on timeout.
+    solver_status: str = ""
+    objective: float = float("nan")
+    x: Optional[np.ndarray] = None
+    arrival_time: float = 0.0
+    dispatch_time: float = 0.0
+    start_time: float = 0.0
+    completion_time: float = 0.0
+    #: Served from the result cache — the device was never touched.
+    cached: bool = False
+    #: Coalesced onto an identical request that was already queued.
+    coalesced: bool = False
+    #: Members in the dispatched batch (0 for cached/timeout responses).
+    batch_size: int = 0
+    #: Worker (device-group rank) that executed the batch, -1 if none.
+    worker: int = -1
+
+    @property
+    def ok(self) -> bool:
+        """True when the solver reached a terminal answer."""
+        return self.outcome is Outcome.OK
+
+    @property
+    def queue_wait(self) -> float:
+        """Simulated seconds spent queued before the batch was formed."""
+        return self.dispatch_time - self.arrival_time
+
+    @property
+    def assembly_wait(self) -> float:
+        """Batch formed → device start (waiting for a free worker)."""
+        return self.start_time - self.dispatch_time
+
+    @property
+    def device_time(self) -> float:
+        """Device start → completion."""
+        return self.completion_time - self.start_time
+
+    @property
+    def latency(self) -> float:
+        """End-to-end: arrival → completion."""
+        return self.completion_time - self.arrival_time
+
+    def raise_for_outcome(self) -> None:
+        """Raise the typed error matching a non-OK outcome (no-op if OK)."""
+        if self.outcome is Outcome.TIMEOUT:
+            raise RequestTimeout(self.request_id, self.queue_wait)
+        if self.outcome is Outcome.FAILED:
+            raise ServiceError(
+                f"request {self.request_id} failed: "
+                f"solver status {self.solver_status!r}"
+            )

@@ -1,0 +1,294 @@
+"""The batching MIP/LP solve service.
+
+:class:`SolveService` is the subsystem that turns the repo's batch
+solvers into a *system* for the paper's §5.5 winning regime — a heavy
+stream of small independent problems.  It accepts time-ordered solve
+requests, answers duplicates from an LRU result cache (or coalesces them
+onto an identical queued request), groups the rest into
+shape-compatibility buckets, flushes size- or deadline-triggered batches
+onto a worker pool of simulated devices, and applies admission control
+when the queue is full.
+
+Everything runs in *simulated* time, driven by request arrival times:
+``submit(problem, at=t)`` first processes every deadline flush and
+request timeout due before ``t``, then admits (or rejects) the new
+request.  ``drain()`` / ``close()`` flush all partial batches.  The
+whole pipeline is deterministic — the same request stream produces the
+same responses and the same simulated-time totals.
+
+Per-stage observability lands in one :class:`repro.metrics.Metrics`
+instance: queue wait, batch assembly, device time, cache hits/misses,
+coalesced duplicates, rejections, timeouts, and per-worker batch counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.device.spec import DeviceSpec, V100
+from repro.errors import ServiceClosed, ServiceError, ServiceSaturated
+from repro.metrics import Metrics
+from repro.serve.batching import BatchingPolicy, BatchQueue, BucketKey
+from repro.serve.cache import CACHE_LOOKUP_SECONDS, CacheEntry, ResultCache
+from repro.serve.request import (
+    Outcome,
+    Problem,
+    SolveRequest,
+    SolveResponse,
+    fingerprint,
+)
+from repro.serve.scheduler import WorkerPool
+
+
+class SolveService:
+    """Queueing + dynamic batching + caching front-end over a device group."""
+
+    def __init__(
+        self,
+        policy: Optional[BatchingPolicy] = None,
+        num_workers: int = 2,
+        spec: DeviceSpec = V100,
+        cache_capacity: int = 1024,
+        metrics: Optional[Metrics] = None,
+    ):
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.pool = WorkerPool(num_workers, spec=spec, metrics=self.metrics)
+        self.cache = ResultCache(cache_capacity)
+        self.queue = BatchQueue(self.policy)
+        #: Service-side simulated clock (max processed event time).
+        self.now = 0.0
+        self.closed = False
+        self._next_id = 0
+        self._responses: Dict[int, SolveResponse] = {}
+        #: fingerprint → queued primary request (coalescing target).
+        self._primaries: Dict[str, SolveRequest] = {}
+        #: primary request id → coalesced follower requests.
+        self._followers: Dict[int, List[SolveRequest]] = {}
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        problem: Problem,
+        at: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Admit one request arriving at simulated time ``at``.
+
+        Returns the assigned request id.  Raises
+        :class:`repro.errors.ServiceClosed` after :meth:`close` and
+        :class:`repro.errors.ServiceSaturated` when admission control
+        rejects the request.  Arrivals must be non-decreasing in time.
+        """
+        if self.closed:
+            raise ServiceClosed("submit() on a closed service")
+        at = self.now if at is None else float(at)
+        if at < self.now:
+            raise ServiceError(
+                f"arrivals must be non-decreasing: got {at:.6g} after {self.now:.6g}"
+            )
+        self._pump(at)
+        self.now = at
+
+        rid = self._next_id
+        self._next_id += 1
+        fp = fingerprint(problem)
+        request = SolveRequest(
+            problem=problem,
+            arrival_time=at,
+            timeout=timeout,
+            request_id=rid,
+            fingerprint=fp,
+        )
+        self.metrics.inc("serve.requests")
+
+        # 1. Coalesce onto an identical queued request.
+        primary = self._primaries.get(fp)
+        if primary is not None:
+            self._followers[primary.request_id].append(request)
+            self.metrics.inc("serve.coalesced")
+            return rid
+
+        # 2. Result cache.
+        entry = self.cache.get(fp)
+        if entry is not None:
+            self.metrics.inc("serve.cache.hits")
+            done = max(at, entry.ready_time) + CACHE_LOOKUP_SECONDS
+            self._record(
+                SolveResponse(
+                    request_id=rid,
+                    fingerprint=fp,
+                    outcome=entry.outcome,
+                    solver_status=entry.solver_status,
+                    objective=entry.objective,
+                    x=entry.x,
+                    arrival_time=at,
+                    dispatch_time=at,
+                    start_time=at,
+                    completion_time=done,
+                    cached=True,
+                )
+            )
+            return rid
+        self.metrics.inc("serve.cache.misses")
+
+        # 3. Admission control.
+        if self.queue.depth >= self.policy.max_queue_depth:
+            self.metrics.inc("serve.rejected")
+            raise ServiceSaturated(self.queue.depth, self.policy.max_queue_depth)
+
+        # 4. Enqueue; flush immediately if the bucket filled up.
+        key = self.queue.push(request)
+        self._primaries[fp] = request
+        self._followers[rid] = []
+        self.metrics.inc("serve.admitted")
+        if self.queue.bucket_len(key) >= self.policy.max_batch_size:
+            self._flush(key, self.now, trigger="size")
+        return rid
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def drain(self) -> List[SolveResponse]:
+        """Dispatch every queued request now (partial batches included).
+
+        Graceful drain: deadline timers are not awaited; anything still
+        queued is flushed at the current simulated time.  Returns all
+        responses so far, ordered by request id.
+        """
+        self._pump(self.now)
+        for key in self.queue.nonempty_keys():
+            while self.queue.bucket_len(key):
+                self._flush(key, self.now, trigger="drain")
+        return self.results()
+
+    def close(self) -> List[SolveResponse]:
+        """Stop admitting, drain the queue, and return all responses."""
+        if not self.closed:
+            self.closed = True
+            self.metrics.inc("serve.closed")
+            return self.drain()
+        return self.results()
+
+    # -- results & introspection -----------------------------------------------
+
+    def result(self, request_id: int) -> Optional[SolveResponse]:
+        """Response for one request id (None while still queued)."""
+        return self._responses.get(request_id)
+
+    def results(self) -> List[SolveResponse]:
+        """All responses recorded so far, ordered by request id."""
+        return [self._responses[rid] for rid in sorted(self._responses)]
+
+    @property
+    def makespan(self) -> float:
+        """Simulated end-to-end time (slowest worker vs service clock)."""
+        return max(self.now, self.pool.makespan)
+
+    def stats(self) -> Dict:
+        """Structured per-stage breakdown (counters, times, cache rates)."""
+        out = self.metrics.to_dict()
+        requests = self.metrics.count("serve.requests")
+        deduped = self.metrics.count("serve.cache.hits") + self.metrics.count(
+            "serve.coalesced"
+        )
+        out["derived"] = {
+            "cache_hit_rate": self.cache.hit_rate,
+            "dedup_rate": deduped / requests if requests else 0.0,
+            "makespan": self.makespan,
+        }
+        return out
+
+    # -- event processing --------------------------------------------------------
+
+    def _pump(self, until: float) -> None:
+        """Process every deadline flush / request timeout due by ``until``.
+
+        Deterministic ordering: earliest event first; on ties, request
+        timeouts fire before batch flushes (the request gives up just
+        before its batch forms).
+        """
+        while True:
+            timeout_ev = self.queue.next_timeout()
+            flush_ev = self.queue.next_deadline()
+            t_timeout = timeout_ev[0] if timeout_ev else float("inf")
+            t_flush = flush_ev[0] if flush_ev else float("inf")
+            when = min(t_timeout, t_flush)
+            if when > until:
+                break
+            if t_timeout <= t_flush:
+                self.now = max(self.now, t_timeout)
+                self._expire(timeout_ev[1], t_timeout)
+            else:
+                self.now = max(self.now, t_flush)
+                self._flush(flush_ev[1], t_flush, trigger="deadline")
+        self.now = max(self.now, until)
+
+    def _expire(self, request: SolveRequest, when: float) -> None:
+        """Time out one queued request (followers share its fate)."""
+        self.queue.remove(request)
+        followers = self._followers.pop(request.request_id, [])
+        self._primaries.pop(request.fingerprint, None)
+        for req in [request] + followers:
+            self.metrics.inc("serve.timeouts")
+            self._record(
+                SolveResponse(
+                    request_id=req.request_id,
+                    fingerprint=req.fingerprint,
+                    outcome=Outcome.TIMEOUT,
+                    arrival_time=req.arrival_time,
+                    dispatch_time=when,
+                    start_time=when,
+                    completion_time=when,
+                    coalesced=req is not request,
+                )
+            )
+
+    def _flush(self, key: BucketKey, when: float, trigger: str) -> None:
+        """Pop one batch from ``key`` and execute it on the worker pool."""
+        batch = self.queue.pop_batch(key)
+        if not batch:
+            return
+        self.metrics.inc(f"serve.flush.{trigger}")
+        responses = self.pool.dispatch(batch, when)
+        for request, response in zip(batch, responses):
+            self._primaries.pop(request.fingerprint, None)
+            if response.ok:
+                self.cache.put(
+                    request.fingerprint,
+                    CacheEntry(
+                        outcome=response.outcome,
+                        solver_status=response.solver_status,
+                        objective=response.objective,
+                        x=response.x,
+                        ready_time=response.completion_time,
+                    ),
+                )
+            self._record(response)
+            for follower in self._followers.pop(request.request_id, []):
+                twin = SolveResponse(
+                    request_id=follower.request_id,
+                    fingerprint=follower.fingerprint,
+                    outcome=response.outcome,
+                    solver_status=response.solver_status,
+                    objective=response.objective,
+                    x=response.x,
+                    arrival_time=follower.arrival_time,
+                    dispatch_time=response.dispatch_time,
+                    start_time=response.start_time,
+                    completion_time=response.completion_time,
+                    coalesced=True,
+                    batch_size=response.batch_size,
+                    worker=response.worker,
+                )
+                self._record(twin)
+
+    def _record(self, response: SolveResponse) -> None:
+        self._responses[response.request_id] = response
+        if response.outcome is Outcome.OK:
+            self.metrics.inc("serve.completed")
+        elif response.outcome is Outcome.FAILED:
+            self.metrics.inc("serve.failed")
+        self.metrics.add_time("time.serve.queue_wait", max(0.0, response.queue_wait))
+        self.metrics.add_time("time.serve.assembly", max(0.0, response.assembly_wait))
+        self.metrics.add_time("time.serve.latency", max(0.0, response.latency))

@@ -1,0 +1,234 @@
+"""End-to-end service semantics: caching, batching triggers, admission
+control, drain-on-shutdown, correctness, and determinism."""
+
+import numpy as np
+import pytest
+
+from repro import solve_lp
+from repro.errors import (
+    RequestTimeout,
+    ServiceClosed,
+    ServiceError,
+    ServiceSaturated,
+)
+from repro.problems.knapsack import generate_knapsack, knapsack_dp_optimal
+from repro.serve import (
+    BatchingPolicy,
+    Outcome,
+    SolveService,
+    lp_pool,
+    mip_pool,
+    replay,
+    synthetic_stream,
+)
+
+
+def make_service(**kwargs):
+    policy_kwargs = {
+        k: kwargs.pop(k)
+        for k in ("max_batch_size", "max_wait", "max_queue_depth")
+        if k in kwargs
+    }
+    return SolveService(policy=BatchingPolicy(**policy_kwargs), **kwargs)
+
+
+class TestCorrectness:
+    def test_lp_batch_matches_direct_solve(self):
+        pool = lp_pool(6, seed=11)
+        service = make_service(max_batch_size=8)
+        for i, problem in enumerate(pool):
+            service.submit(problem, at=i * 1e-6)
+        responses = service.close()
+        assert len(responses) == 6
+        for problem, response in zip(pool, responses):
+            assert response.ok
+            reference = solve_lp(problem)
+            assert response.objective == pytest.approx(reference.objective)
+            assert response.batch_size == 6
+
+    def test_mip_batch_matches_dp_oracle(self):
+        pool = mip_pool(3, num_items=8, seed=21)
+        service = make_service(max_batch_size=4)
+        for i, problem in enumerate(pool):
+            service.submit(problem, at=i * 1e-6)
+        responses = service.close()
+        for problem, response in zip(pool, responses):
+            assert response.ok and response.solver_status == "optimal"
+            expected, _ = knapsack_dp_optimal(problem)
+            assert response.objective == pytest.approx(expected)
+
+
+class TestCacheAndDedup:
+    def test_duplicate_after_completion_is_cache_hit(self):
+        problem = lp_pool(1, seed=4)[0]
+        service = make_service(max_batch_size=1)
+        service.submit(problem, at=0.0)      # dispatched immediately
+        service.submit(problem, at=1e-3)     # identical → cache
+        responses = service.close()
+        first, second = responses
+        assert not first.cached and second.cached
+        assert second.objective == pytest.approx(first.objective)
+        # The device ran exactly one batch.
+        assert service.metrics.count("serve.batches") == 1
+        assert service.cache.hits == 1
+
+    def test_duplicate_while_queued_is_coalesced(self):
+        problem = lp_pool(1, seed=4)[0]
+        service = make_service(max_batch_size=8)
+        service.submit(problem, at=0.0)
+        service.submit(problem, at=1e-6)     # primary still queued
+        responses = service.close()
+        first, second = responses
+        assert second.coalesced and not second.cached
+        assert second.objective == pytest.approx(first.objective)
+        assert service.metrics.count("serve.batch_members") == 1
+        assert service.metrics.count("serve.coalesced") == 1
+
+    def test_cache_hit_waits_for_result_readiness(self):
+        # A duplicate arriving before its twin's solve finishes must not
+        # receive the answer earlier than the device produced it.
+        problem = lp_pool(1, seed=4)[0]
+        service = make_service(max_batch_size=1)
+        service.submit(problem, at=0.0)
+        ready = service.result(0).completion_time
+        assert ready > 0.0
+        service.submit(problem, at=ready / 10)
+        duplicate = service.result(1)
+        assert duplicate.cached
+        assert duplicate.completion_time >= ready
+
+
+class TestBatchingTriggers:
+    def test_size_trigger_dispatches_full_batch(self):
+        pool = lp_pool(4, seed=6)
+        service = make_service(max_batch_size=4, max_wait=10.0)
+        for i, problem in enumerate(pool):
+            service.submit(problem, at=i * 1e-6)
+        # Flushed on the 4th submit, before any drain.
+        response = service.result(3)
+        assert response is not None and response.batch_size == 4
+        assert service.metrics.count("serve.flush.size") == 1
+
+    def test_deadline_trigger_flushes_partial_batch(self):
+        pool = lp_pool(3, seed=6)
+        mip = mip_pool(1, num_items=8, seed=6)[0]
+        service = make_service(max_batch_size=8, max_wait=1e-3)
+        service.submit(pool[0], at=0.0)
+        service.submit(pool[1], at=1e-5)
+        # A later arrival in a *different* bucket pumps simulated time
+        # past the LP bucket's deadline.
+        service.submit(mip, at=5e-3)
+        response = service.result(0)
+        assert response is not None
+        assert response.batch_size == 2
+        assert response.dispatch_time == pytest.approx(1e-3)
+        assert service.metrics.count("serve.flush.deadline") == 1
+
+    def test_queue_wait_bounded_by_max_wait(self):
+        pool = lp_pool(2, seed=8)
+        mip = mip_pool(1, num_items=8, seed=8)[0]
+        service = make_service(max_batch_size=64, max_wait=2e-3)
+        service.submit(pool[0], at=0.0)
+        service.submit(pool[1], at=1e-4)
+        service.submit(mip, at=1.0)
+        for rid in (0, 1):
+            assert service.result(rid).queue_wait <= 2e-3 + 1e-12
+
+
+class TestAdmissionControl:
+    def test_saturation_raises_typed_error(self):
+        pool = lp_pool(5, seed=9)
+        service = make_service(max_batch_size=8, max_wait=10.0, max_queue_depth=4)
+        for problem in pool[:4]:
+            service.submit(problem, at=0.0)
+        with pytest.raises(ServiceSaturated):
+            service.submit(pool[4], at=0.0)
+        assert service.metrics.count("serve.rejected") == 1
+        # The queued work still completes on drain.
+        responses = service.drain()
+        assert len(responses) == 4 and all(r.ok for r in responses)
+
+    def test_timeout_produces_typed_outcome(self):
+        pool = lp_pool(1, seed=10)
+        mip = mip_pool(1, num_items=8, seed=10)[0]
+        service = make_service(max_batch_size=8, max_wait=1.0)
+        service.submit(pool[0], at=0.0, timeout=1e-4)
+        service.submit(mip, at=1e-2)  # pumps time past the timeout
+        response = service.result(0)
+        assert response.outcome is Outcome.TIMEOUT
+        assert response.completion_time == pytest.approx(1e-4)
+        with pytest.raises(RequestTimeout):
+            response.raise_for_outcome()
+        assert service.metrics.count("serve.timeouts") == 1
+
+    def test_timeout_fires_before_deadline_flush_on_tie(self):
+        pool = lp_pool(1, seed=10)
+        mip = mip_pool(1, num_items=8, seed=10)[0]
+        # timeout == max_wait: the request gives up, the flush finds an
+        # empty bucket.
+        service = make_service(max_batch_size=8, max_wait=1e-3)
+        service.submit(pool[0], at=0.0, timeout=1e-3)
+        service.submit(mip, at=1e-2)
+        assert service.result(0).outcome is Outcome.TIMEOUT
+
+    def test_arrivals_must_be_time_ordered(self):
+        pool = lp_pool(1, seed=10)
+        service = make_service()
+        service.submit(pool[0], at=1.0)
+        with pytest.raises(ServiceError):
+            service.submit(pool[0], at=0.5)
+
+
+class TestShutdown:
+    def test_drain_flushes_partial_batches(self):
+        pool = lp_pool(3, seed=12)
+        service = make_service(max_batch_size=64, max_wait=10.0)
+        for i, problem in enumerate(pool):
+            service.submit(problem, at=i * 1e-6)
+        assert service.queue.depth == 3
+        responses = service.drain()
+        assert len(responses) == 3 and all(r.ok for r in responses)
+        assert service.queue.depth == 0
+        assert service.metrics.count("serve.flush.drain") >= 1
+
+    def test_close_then_submit_raises(self):
+        pool = lp_pool(2, seed=12)
+        service = make_service(max_batch_size=64)
+        service.submit(pool[0], at=0.0)
+        responses = service.close()
+        assert len(responses) == 1 and responses[0].ok
+        with pytest.raises(ServiceClosed):
+            service.submit(pool[1], at=1.0)
+
+    def test_close_is_idempotent(self):
+        pool = lp_pool(1, seed=12)
+        service = make_service(max_batch_size=64)
+        service.submit(pool[0], at=0.0)
+        first = service.close()
+        second = service.close()
+        assert [r.request_id for r in first] == [r.request_id for r in second]
+
+
+class TestDeterminism:
+    def test_same_stream_same_responses_and_times(self):
+        pool = lp_pool(6, seed=2) + mip_pool(2, num_items=8, seed=2)
+        stream = synthetic_stream(
+            pool, 60, 2e-5, seed=7, burst_length=10, burst_gap=1e-4
+        )
+
+        def run():
+            service = SolveService(
+                policy=BatchingPolicy(max_batch_size=8, max_wait=5e-4)
+            )
+            responses, rejected = replay(service, stream, timeout=5e-3)
+            signature = [
+                (r.request_id, r.outcome.value, r.objective, r.completion_time)
+                for r in responses
+            ]
+            return signature, rejected, service.makespan, service.metrics.to_dict()
+
+        first, second = run(), run()
+        assert first[0] == second[0]      # same responses
+        assert first[1] == second[1]      # same rejections
+        assert first[2] == second[2]      # same simulated makespan
+        assert first[3] == second[3]      # same per-stage metrics

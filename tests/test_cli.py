@@ -66,3 +66,27 @@ class TestGenerateInfoList:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServeBench:
+    def test_sweep_prints_policy_table(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--requests", "24",
+                    "--distinct", "8",
+                    "--batch-sizes", "1,8",
+                    "--show-metrics",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serve-bench" in out and "req/s" in out
+        assert "serve.requests" in out  # per-stage metrics table
+        assert "time.serve.device" in out
+
+    def test_bad_batch_sizes_errors(self, capsys):
+        assert main(["serve-bench", "--batch-sizes", "x,y"]) == 2
+        assert "error:" in capsys.readouterr().err

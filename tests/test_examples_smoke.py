@@ -14,6 +14,7 @@ FAST_EXAMPLES = [
     "device_timeline.py",
     "flowshop_ivm.py",
     "sensitivity_and_fixing.py",
+    "serve_traffic.py",
 ]
 
 

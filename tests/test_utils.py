@@ -10,6 +10,7 @@ from repro.reporting import (
     format_bytes,
     format_seconds,
     format_value,
+    render_metrics,
     render_series,
     render_table,
     sparkline,
@@ -65,6 +66,18 @@ class TestMetrics:
         keys = dict(m.items())
         assert set(keys) == {"c", "t"}
 
+    def test_to_dict_structured_and_sorted(self):
+        m = Metrics()
+        m.inc("b", 2)
+        m.inc("a")
+        m.add_time("t", 0.5)
+        data = m.to_dict()
+        assert data == {"counters": {"a": 1, "b": 2}, "times": {"t": 0.5}}
+        assert list(data["counters"]) == ["a", "b"]
+        # Plain dict copies: mutating the view leaves the metrics alone.
+        data["counters"]["a"] = 99
+        assert m.count("a") == 1
+
 
 class TestReporting:
     def test_format_value(self):
@@ -98,6 +111,23 @@ class TestReporting:
         spark = sparkline([0, 5, 10])
         assert spark[0] == "▁" and spark[-1] == "█"
 
+    def test_render_metrics_counts_and_times(self):
+        m = Metrics()
+        m.inc("serve.requests", 3)
+        m.add_time("time.serve.device", 2e-3)
+        text = render_metrics(m, title="stages")
+        assert "stages" in text
+        assert "serve.requests" in text and "3" in text
+        assert "time.serve.device" in text and "ms" in text
+
+    def test_render_metrics_prefix_filter(self):
+        m = Metrics()
+        m.inc("serve.requests")
+        m.inc("kernels.total")
+        text = render_metrics(m, prefix="serve.")
+        assert "serve.requests" in text
+        assert "kernels.total" not in text
+
     def test_render_series_contains_sparkline(self):
         text = render_series("x", [1, 2], [("y", [3.0, 9.0])])
         assert "y" in text and "█" in text
@@ -129,6 +159,16 @@ class TestErrors:
         assert issubclass(errors.DeviceMemoryError, errors.DeviceError)
         assert issubclass(errors.DeadlockError, errors.CommError)
         assert issubclass(errors.MIPError, errors.SolverError)
+        assert issubclass(errors.ServiceSaturated, errors.ServiceError)
+        assert issubclass(errors.RequestTimeout, errors.ServiceError)
+        assert issubclass(errors.ServiceClosed, errors.ServiceError)
+        assert issubclass(errors.ServiceError, errors.ReproError)
+
+    def test_service_error_fields(self):
+        saturated = errors.ServiceSaturated(12, 8)
+        assert saturated.queue_depth == 12 and saturated.limit == 8
+        timeout = errors.RequestTimeout(3, 0.25)
+        assert timeout.request_id == 3 and "0.25" in str(timeout)
 
     def test_device_memory_error_fields(self):
         err = errors.DeviceMemoryError(100, 40, 200)
