@@ -1,4 +1,4 @@
-.PHONY: install test bench serve-bench examples clean
+.PHONY: install test bench serve-bench fuzz examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,6 +11,9 @@ bench:
 
 serve-bench:
 	python -m pytest benchmarks/bench_s1_serve_throughput.py --benchmark-only -q
+
+fuzz:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro fuzz --budget 50 --seed 0
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -1,0 +1,350 @@
+"""Exact solution certificates in rational arithmetic.
+
+Every float64 is exactly representable as a :class:`fractions.Fraction`,
+so a claimed solution can be audited *exactly*: constraint activities,
+bound violations, integrality residuals, and objective values computed
+here carry no rounding error whatsoever.  The float solvers are allowed
+their documented tolerances — the certificate compares the exactly
+computed violation against the exactly represented tolerance — but they
+cannot hide a genuinely wrong answer behind accumulated float noise,
+which is precisely how a silently mis-solving kernel would present.
+
+Checks are scaled relative to the data magnitude they test against
+(``tol * (1 + |b_i|)`` for row ``i``), matching how the float stack
+treats its own residuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.errors import CertificateViolation
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+from repro.mip.problem import MIPProblem
+from repro.mip.result import MIPResult, MIPStatus
+
+#: Slack allowed between a claimed objective and the exact cᵀx, relative
+#: to the objective magnitude (float dot products of ~1e3 terms).
+OBJECTIVE_CONSISTENCY_RTOL = 1e-9
+
+
+def _frac(value: float) -> Fraction:
+    """Exact rational of one finite float."""
+    return Fraction(float(value))
+
+
+def _frac_vec(arr: np.ndarray) -> List[Fraction]:
+    return [_frac(v) for v in arr]
+
+
+def _dot(row: np.ndarray, xf: List[Fraction]) -> Fraction:
+    """Exact dot product of a float row with a rational vector."""
+    total = Fraction(0)
+    for j, v in enumerate(row):
+        if v != 0.0:
+            total += _frac(v) * xf[j]
+    return total
+
+
+@dataclass
+class CertificateCheck:
+    """One exact check: the worst violation found vs. its tolerance."""
+
+    name: str
+    ok: bool
+    #: Worst violation (exact arithmetic, rounded only for display).
+    violation: float
+    tolerance: float
+    detail: str = ""
+
+
+@dataclass
+class CertificateReport:
+    """Outcome of certifying one solution."""
+
+    problem_name: str
+    checks: List[CertificateCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return all(c.ok for c in self.checks)
+
+    @property
+    def failures(self) -> List[CertificateCheck]:
+        """The checks that failed."""
+        return [c for c in self.checks if not c.ok]
+
+    def raise_for_failures(self) -> None:
+        """Raise :class:`CertificateViolation` for the worst failure."""
+        bad = self.failures
+        if bad:
+            worst = max(bad, key=lambda c: c.violation - c.tolerance)
+            raise CertificateViolation(worst.name, worst.violation, worst.tolerance)
+
+    def _add(
+        self,
+        name: str,
+        violation: Fraction,
+        tolerance: Fraction,
+        detail: str = "",
+    ) -> None:
+        self.checks.append(
+            CertificateCheck(
+                name=name,
+                ok=violation <= tolerance,
+                violation=float(violation),
+                tolerance=float(tolerance),
+                detail=detail,
+            )
+        )
+
+
+def _check_rows(
+    report: CertificateReport,
+    name: str,
+    a: Optional[np.ndarray],
+    b: Optional[np.ndarray],
+    xf: List[Fraction],
+    tol: Fraction,
+    equality: bool,
+) -> None:
+    """Worst exact violation of ``Ax ≤ b`` (or ``= b``) over all rows."""
+    if a is None:
+        return
+    worst = Fraction(0)
+    worst_tol = tol
+    worst_row = -1
+    for i in range(a.shape[0]):
+        activity = _dot(a[i], xf)
+        resid = activity - _frac(b[i])
+        violation = abs(resid) if equality else max(Fraction(0), resid)
+        allowed = tol * (1 + abs(_frac(b[i])))
+        # Rank rows by tolerance-normalized violation so a tight row is
+        # not masked by a slack row with a bigger absolute residual.
+        if worst_row < 0 or violation * worst_tol > worst * allowed:
+            worst, worst_tol, worst_row = violation, allowed, i
+    report._add(name, worst, worst_tol, detail=f"worst row {worst_row}")
+
+
+def _check_bounds(
+    report: CertificateReport,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    xf: List[Fraction],
+    tol: Fraction,
+) -> None:
+    worst = Fraction(0)
+    worst_tol = tol
+    worst_var = -1
+    for j, xj in enumerate(xf):
+        for bound, sign in ((lb[j], 1), (ub[j], -1)):
+            if not np.isfinite(bound):
+                continue
+            violation = max(Fraction(0), sign * (_frac(bound) - xj))
+            allowed = tol * (1 + abs(_frac(bound)))
+            if worst_var < 0 or violation * worst_tol > worst * allowed:
+                worst, worst_tol, worst_var = violation, allowed, j
+    report._add("bounds", worst, worst_tol, detail=f"worst var {worst_var}")
+
+
+def certify_mip_solution(
+    problem: MIPProblem,
+    x: np.ndarray,
+    objective: Optional[float] = None,
+    best_bound: Optional[float] = None,
+    tol: Tolerances = DEFAULT_TOLERANCES,
+) -> CertificateReport:
+    """Exactly audit a claimed MIP solution.
+
+    Checks, all in rational arithmetic: ≤-row and =-row feasibility,
+    bound-box feasibility, integrality of the integer variables,
+    consistency of the claimed ``objective`` with the exact ``cᵀx``, and
+    (when given) that the claimed dual ``best_bound`` does not cut off
+    the exact objective.
+    """
+    report = CertificateReport(problem_name=problem.name)
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (problem.n,):
+        report.checks.append(
+            CertificateCheck(
+                name="shape",
+                ok=False,
+                violation=float(x.size),
+                tolerance=float(problem.n),
+                detail=f"solution has shape {x.shape}, expected ({problem.n},)",
+            )
+        )
+        return report
+    xf = _frac_vec(x)
+    feas = _frac(tol.feasibility) * 10
+
+    _check_rows(report, "rows_ub", problem.a_ub, problem.b_ub, xf, feas, equality=False)
+    _check_rows(report, "rows_eq", problem.a_eq, problem.b_eq, xf, feas, equality=True)
+    _check_bounds(report, problem.lb, problem.ub, xf, feas)
+
+    # Integrality: exact distance to the nearest integer.
+    worst = Fraction(0)
+    worst_var = -1
+    for j in np.nonzero(problem.integer)[0]:
+        resid = abs(xf[j] - round(xf[j]))
+        if resid > worst:
+            worst, worst_var = resid, int(j)
+    report._add(
+        "integrality",
+        worst,
+        _frac(tol.integrality) * 10,
+        detail=f"worst var {worst_var}",
+    )
+
+    exact_obj = _dot(problem.c, xf)
+    if objective is not None:
+        allowed = _frac(OBJECTIVE_CONSISTENCY_RTOL) * (1 + abs(exact_obj))
+        report._add(
+            "objective",
+            abs(_frac(objective) - exact_obj),
+            allowed,
+            detail=f"claimed {objective:.12g}, exact {float(exact_obj):.12g}",
+        )
+    if best_bound is not None and np.isfinite(best_bound):
+        # The dual bound must sit at or above the exact primal value
+        # (maximization), up to the solver's own declared gap.
+        slack = _frac(tol.mip_gap_abs) + _frac(tol.mip_gap) * abs(exact_obj)
+        report._add(
+            "dual_bound",
+            max(Fraction(0), exact_obj - _frac(best_bound)),
+            slack,
+            detail=f"bound {best_bound:.12g}, exact objective {float(exact_obj):.12g}",
+        )
+    return report
+
+
+def certify_mip_result(
+    problem: MIPProblem,
+    result: MIPResult,
+    tol: Tolerances = DEFAULT_TOLERANCES,
+) -> CertificateReport:
+    """Certify a :class:`MIPResult` (only terminal-with-solution states).
+
+    ``OPTIMAL``/``NODE_LIMIT`` results with an incumbent get the full
+    solution audit; an ``OPTIMAL`` result *without* an incumbent is
+    itself a violation.  ``INFEASIBLE``/``UNBOUNDED`` claims need dual
+    rays to certify and are recorded as skipped (vacuously ok).
+    """
+    if result.x is not None:
+        return certify_mip_solution(
+            problem,
+            result.x,
+            objective=result.objective,
+            best_bound=result.best_bound if np.isfinite(result.best_bound) else None,
+            tol=tol,
+        )
+    report = CertificateReport(problem_name=problem.name)
+    if result.status is MIPStatus.OPTIMAL:
+        report.checks.append(
+            CertificateCheck(
+                name="status",
+                ok=False,
+                violation=1.0,
+                tolerance=0.0,
+                detail="OPTIMAL claimed without an incumbent solution",
+            )
+        )
+    else:
+        report.checks.append(
+            CertificateCheck(
+                name="status",
+                ok=True,
+                violation=0.0,
+                tolerance=0.0,
+                detail=f"{result.status.value}: no solution to audit",
+            )
+        )
+    return report
+
+
+def certify_lp_result(
+    lp: LinearProgram,
+    result: LPResult,
+    tol: Tolerances = DEFAULT_TOLERANCES,
+) -> CertificateReport:
+    """Certify an LP solve: primal feasibility plus a duality certificate.
+
+    When the result carries standard-form duals and primal iterates, the
+    full optimality certificate is audited exactly: dual feasibility
+    (``Âᵀy ≥ ĉ``) and strong duality (``b̂ᵀy = ĉᵀx̂``) on the standard
+    form the solver actually worked on.
+    """
+    name = getattr(lp, "name", "lp")
+    report = CertificateReport(problem_name=name)
+    if result.status is not LPStatus.OPTIMAL:
+        report.checks.append(
+            CertificateCheck(
+                name="status",
+                ok=True,
+                violation=0.0,
+                tolerance=0.0,
+                detail=f"{result.status.value}: no solution to audit",
+            )
+        )
+        return report
+    if result.x is None:
+        report.checks.append(
+            CertificateCheck(
+                name="status",
+                ok=False,
+                violation=1.0,
+                tolerance=0.0,
+                detail="OPTIMAL claimed without a primal solution",
+            )
+        )
+        return report
+
+    xf = _frac_vec(np.asarray(result.x, dtype=np.float64))
+    feas = _frac(tol.feasibility) * 10
+    _check_rows(report, "rows_ub", lp.a_ub, lp.b_ub, xf, feas, equality=False)
+    _check_rows(report, "rows_eq", lp.a_eq, lp.b_eq, xf, feas, equality=True)
+    _check_bounds(report, lp.lb, lp.ub, xf, feas)
+
+    exact_obj = _dot(lp.c, xf)
+    allowed = _frac(OBJECTIVE_CONSISTENCY_RTOL) * (1 + abs(exact_obj))
+    report._add(
+        "objective",
+        abs(_frac(result.objective) - exact_obj),
+        allowed,
+        detail=f"claimed {result.objective:.12g}, exact {float(exact_obj):.12g}",
+    )
+
+    if result.duals is not None and result.x_standard is not None:
+        sf = lp.to_standard_form()
+        if result.duals.shape == (sf.m,) and result.x_standard.shape == (sf.n,):
+            yf = _frac_vec(np.asarray(result.duals, dtype=np.float64))
+            xs = _frac_vec(np.asarray(result.x_standard, dtype=np.float64))
+            # Dual feasibility: reduced costs ĉ − Âᵀy ≤ 0 for every column.
+            worst = Fraction(0)
+            worst_col = -1
+            dual_tol = _frac(tol.optimality) * 10
+            for j in range(sf.n):
+                aty = _dot(sf.a[:, j], yf)
+                resid = max(Fraction(0), _frac(sf.c[j]) - aty)
+                if resid > worst:
+                    worst, worst_col = resid, j
+            report._add(
+                "dual_feasibility", worst, dual_tol, detail=f"worst column {worst_col}"
+            )
+            # Strong duality on the standard form: b̂ᵀy == ĉᵀx̂.
+            primal = _dot(sf.c, xs)
+            dual = _dot(sf.b, yf)
+            report._add(
+                "strong_duality",
+                abs(primal - dual),
+                _frac(tol.optimality) * 100 * (1 + abs(primal)),
+                detail=f"primal {float(primal):.12g}, dual {float(dual):.12g}",
+            )
+    return report

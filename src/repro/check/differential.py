@@ -1,0 +1,266 @@
+"""Differential testing: one instance, every applicable solver pair.
+
+Two independent implementations rarely share a bug; running the same
+instance through primal simplex, a dual-simplex re-solve, the interior
+point method, the lockstep batched simplex, two branch-and-bound
+configurations with different search orders, and all four metered
+strategy engines gives the strongest cheap oracle available without an
+external reference solver (the CHAP / batched-LP validation pattern).
+
+Runs that end in an inconclusive status (iteration limits) are recorded
+but never flagged — only *contradictory terminal answers* count as a
+disagreement: OPTIMAL objectives apart beyond tolerance, or one solver
+proving a status another solver's certificate-grade answer excludes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import LPError, ReproError, SolverDisagreement
+from repro.lp.batch_simplex import lockstep_compatible, solve_lp_batch
+from repro.lp.dual_simplex import dual_simplex_resolve
+from repro.lp.interior_point import IPMOptions, interior_point_solve
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPStatus
+from repro.lp.simplex import solve_lp
+from repro.mip.problem import MIPProblem
+from repro.mip.result import MIPStatus
+from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+from repro.strategies.runner import STRATEGIES, run_strategy
+
+#: Relative objective tolerance for declaring two solvers in agreement.
+DIFFERENTIAL_RTOL = 1e-6
+
+#: Statuses that carry a terminal claim (disagreements are meaningful).
+_TERMINAL_LP = {LPStatus.OPTIMAL, LPStatus.INFEASIBLE, LPStatus.UNBOUNDED}
+_TERMINAL_MIP = {MIPStatus.OPTIMAL, MIPStatus.INFEASIBLE, MIPStatus.UNBOUNDED}
+
+
+@dataclass
+class SolverRun:
+    """One solver's answer on the shared instance."""
+
+    name: str
+    status: str
+    objective: float
+    #: False when the run ended inconclusively (iteration/node limit).
+    conclusive: bool = True
+    note: str = ""
+
+
+@dataclass
+class Disagreement:
+    """A contradictory pair of terminal answers."""
+
+    left: str
+    right: str
+    kind: str  # "status" or "objective"
+    left_value: str
+    right_value: str
+    delta: float = 0.0
+
+
+@dataclass
+class DifferentialReport:
+    """All runs plus every pairwise contradiction found."""
+
+    problem_name: str
+    runs: List[SolverRun] = field(default_factory=list)
+    disagreements: List[Disagreement] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no pair of solvers contradicted each other."""
+        return not self.disagreements
+
+    def raise_for_failures(self) -> None:
+        """Raise :class:`SolverDisagreement` for the first contradiction."""
+        for d in self.disagreements:
+            raise SolverDisagreement(d.left, d.right, d.kind, d.delta)
+
+    def _compare_pairs(self, rtol: float) -> None:
+        """Populate ``disagreements`` from all conclusive run pairs."""
+        conclusive = [r for r in self.runs if r.conclusive]
+        for i, left in enumerate(conclusive):
+            for right in conclusive[i + 1 :]:
+                if left.status != right.status:
+                    self.disagreements.append(
+                        Disagreement(
+                            left=left.name,
+                            right=right.name,
+                            kind="status",
+                            left_value=left.status,
+                            right_value=right.status,
+                        )
+                    )
+                    continue
+                if left.status != "optimal":
+                    continue
+                scale = 1.0 + max(abs(left.objective), abs(right.objective))
+                delta = abs(left.objective - right.objective)
+                if delta > rtol * scale:
+                    self.disagreements.append(
+                        Disagreement(
+                            left=left.name,
+                            right=right.name,
+                            kind="objective",
+                            left_value=f"{left.objective:.12g}",
+                            right_value=f"{right.objective:.12g}",
+                            delta=delta,
+                        )
+                    )
+
+
+def differential_lp(
+    lp: LinearProgram,
+    rtol: float = DIFFERENTIAL_RTOL,
+    include_ipm: bool = True,
+    include_batch: bool = True,
+) -> DifferentialReport:
+    """Run one LP through every applicable solver pair.
+
+    Pairs: cold primal simplex vs. a dual-simplex re-solve from the
+    optimal basis, vs. Mehrotra interior point (iteration-limit results
+    are inconclusive, not disagreements), vs. the lockstep batched
+    simplex (when the instance meets its preconditions, solved as a
+    batch of two so the batch must also agree with itself).
+    """
+    report = DifferentialReport(problem_name=getattr(lp, "name", "lp"))
+
+    primal = solve_lp(lp)
+    report.runs.append(
+        SolverRun(
+            name="simplex",
+            status=primal.status.value,
+            objective=primal.objective,
+            conclusive=primal.status in _TERMINAL_LP,
+        )
+    )
+
+    if primal.status is LPStatus.OPTIMAL and primal.basis is not None:
+        sf = lp.to_standard_form()
+        try:
+            dual = dual_simplex_resolve(sf, primal.basis.copy())
+            report.runs.append(
+                SolverRun(
+                    name="dual_simplex",
+                    status=dual.status.value,
+                    objective=dual.objective,
+                    conclusive=dual.status in _TERMINAL_LP,
+                    note="re-solved from the primal-optimal basis",
+                )
+            )
+        except LPError as exc:
+            report.runs.append(
+                SolverRun(
+                    name="dual_simplex",
+                    status="error",
+                    objective=float("nan"),
+                    conclusive=False,
+                    note=str(exc),
+                )
+            )
+
+    if include_ipm:
+        ipm = interior_point_solve(lp.to_standard_form(), IPMOptions())
+        report.runs.append(
+            SolverRun(
+                name="interior_point",
+                status=ipm.status.value,
+                objective=ipm.objective,
+                # The IPM documents ITERATION_LIMIT on degenerate or
+                # unbounded instances; only OPTIMAL carries a claim.
+                conclusive=ipm.status is LPStatus.OPTIMAL,
+            )
+        )
+
+    if include_batch and lockstep_compatible(lp):
+        try:
+            batch = solve_lp_batch([lp, lp])
+        except (LPError, ReproError) as exc:
+            report.runs.append(
+                SolverRun(
+                    name="batch_simplex",
+                    status="error",
+                    objective=float("nan"),
+                    conclusive=False,
+                    note=str(exc),
+                )
+            )
+        else:
+            for t in range(2):
+                report.runs.append(
+                    SolverRun(
+                        name=f"batch_simplex[{t}]",
+                        status=batch.statuses[t].value,
+                        objective=float(batch.objectives[t]),
+                        conclusive=batch.statuses[t] in _TERMINAL_LP,
+                    )
+                )
+
+    report._compare_pairs(rtol)
+    return report
+
+
+#: Branch-and-bound configurations with genuinely different search paths.
+_MIP_CONFIGS = (
+    ("bb/best_first+pseudocost", "best_first", "pseudocost", 0),
+    ("bb/depth_first+most_fractional", "depth_first", "most_fractional", 0),
+    ("bb/best_first+cuts", "best_first", "pseudocost", 2),
+)
+
+
+def differential_mip(
+    problem: MIPProblem,
+    rtol: float = DIFFERENTIAL_RTOL,
+    node_limit: int = 50_000,
+    strategies: Optional[Sequence[str]] = None,
+) -> DifferentialReport:
+    """Run one MIP through every applicable solver configuration.
+
+    Covers the plain branch-and-bound under different node-selection /
+    branching / cut settings (different search trees must meet at the
+    same optimum) and the four metered ``strategies/`` engines (pass
+    ``strategies=()`` to skip them for speed).
+    """
+    report = DifferentialReport(problem_name=problem.name)
+
+    for name, selection, branching, cut_rounds in _MIP_CONFIGS:
+        options = SolverOptions(
+            node_selection=selection,
+            branching=branching,
+            cut_rounds=cut_rounds,
+            node_limit=node_limit,
+        )
+        result = BranchAndBoundSolver(problem, options).solve()
+        report.runs.append(
+            SolverRun(
+                name=name,
+                status=result.status.value,
+                objective=result.objective,
+                conclusive=result.status in _TERMINAL_MIP,
+            )
+        )
+
+    if strategies is None:
+        strategies = sorted(STRATEGIES)
+    for strategy in strategies:
+        strategy_report = run_strategy(
+            problem, strategy, SolverOptions(node_limit=node_limit)
+        )
+        result = strategy_report.result
+        report.runs.append(
+            SolverRun(
+                name=f"strategy/{strategy}",
+                status=result.status.value,
+                objective=result.objective,
+                conclusive=result.status in _TERMINAL_MIP,
+            )
+        )
+
+    report._compare_pairs(rtol)
+    return report

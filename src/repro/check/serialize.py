@@ -1,0 +1,112 @@
+"""Replayable repro files for check failures.
+
+A repro file is a single JSON document carrying the complete (shrunk)
+instance plus the failure's provenance — which check tripped, under
+which fuzz seed, and what the detail line was.  Infinities survive JSON
+the same way :mod:`repro.mip.checkpoint` encodes them (as strings), and
+floats are stored at full ``repr`` precision, so a loaded instance is
+bit-identical to the one that failed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+
+REPRO_FORMAT_VERSION = 1
+
+
+def _encode(arr: Optional[np.ndarray]) -> Optional[list]:
+    if arr is None:
+        return None
+    flat = np.asarray(arr, dtype=np.float64)
+    values: Union[list, List[list]]
+    if flat.ndim == 1:
+        return [
+            "inf" if v == np.inf else "-inf" if v == -np.inf else float(v)
+            for v in flat
+        ]
+    return [_encode(row) for row in flat]
+
+
+def _decode(values: Optional[list]) -> Optional[np.ndarray]:
+    if values is None:
+        return None
+    if values and isinstance(values[0], list):
+        return np.array([_decode(row) for row in values])
+    return np.array(
+        [np.inf if v == "inf" else -np.inf if v == "-inf" else float(v) for v in values]
+    )
+
+
+def problem_to_dict(problem: MIPProblem) -> Dict:
+    """Serialize a :class:`MIPProblem` to plain JSON-safe data."""
+    return {
+        "name": problem.name,
+        "c": _encode(problem.c),
+        "integer": [bool(v) for v in problem.integer],
+        "a_ub": _encode(problem.a_ub),
+        "b_ub": _encode(problem.b_ub),
+        "a_eq": _encode(problem.a_eq),
+        "b_eq": _encode(problem.b_eq),
+        "lb": _encode(problem.lb),
+        "ub": _encode(problem.ub),
+    }
+
+
+def problem_from_dict(doc: Dict) -> MIPProblem:
+    """Rebuild a :class:`MIPProblem` from :func:`problem_to_dict` data."""
+    return MIPProblem(
+        c=_decode(doc["c"]),
+        integer=np.array(doc["integer"], dtype=bool),
+        a_ub=_decode(doc.get("a_ub")),
+        b_ub=_decode(doc.get("b_ub")),
+        a_eq=_decode(doc.get("a_eq")),
+        b_eq=_decode(doc.get("b_eq")),
+        lb=_decode(doc.get("lb")),
+        ub=_decode(doc.get("ub")),
+        name=doc.get("name", "repro"),
+    )
+
+
+def save_repro(
+    path: str,
+    kind: str,
+    problem: MIPProblem,
+    seed: int,
+    detail: str = "",
+    original_shape: Optional[Dict] = None,
+) -> None:
+    """Write a repro file (atomically via a temp file)."""
+    doc = {
+        "version": REPRO_FORMAT_VERSION,
+        "kind": kind,
+        "seed": seed,
+        "detail": detail,
+        "original_shape": original_shape or {},
+        "problem": problem_to_dict(problem),
+    }
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle, indent=1)
+    os.replace(tmp, path)
+
+
+def load_repro(path: str) -> Dict:
+    """Read a repro file; returns the document with ``problem`` rebuilt."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    version = doc.get("version")
+    if version != REPRO_FORMAT_VERSION:
+        raise ProblemFormatError(f"unsupported repro file version {version!r}")
+    doc["problem"] = problem_from_dict(doc["problem"])
+    return doc

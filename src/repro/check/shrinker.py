@@ -1,0 +1,202 @@
+"""Greedy instance minimization for failing checks.
+
+Given a failing instance and a predicate "does this instance still
+fail?", the shrinker walks a fixed schedule of reductions — drop row
+chunks (delta-debugging style: halves before singles), drop variables,
+round coefficients to fewer digits — accepting any candidate that keeps
+the failure alive, until a full sweep makes no progress or the attempt
+budget runs out.  The result is the small, human-readable instance that
+goes into the repro file.
+
+The predicate must be *deterministic* (seeded solvers only) or the
+shrink can wander; every candidate is re-validated through
+:class:`MIPProblem`'s constructor and rejected on format errors, so the
+shrinker can never produce an unloadable repro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import ProblemFormatError, ReproError
+from repro.mip.problem import MIPProblem
+
+Predicate = Callable[[MIPProblem], bool]
+
+
+def _size(problem: MIPProblem) -> tuple:
+    """Lexicographic size: rows, vars, then nonzeros (smaller is better)."""
+    rows = (0 if problem.a_ub is None else problem.a_ub.shape[0]) + (
+        0 if problem.a_eq is None else problem.a_eq.shape[0]
+    )
+    nnz = 0
+    for block in (problem.a_ub, problem.a_eq):
+        if block is not None:
+            nnz += int(np.count_nonzero(block))
+    return (rows, problem.n, nnz)
+
+
+def _rebuild(
+    problem: MIPProblem,
+    *,
+    keep_vars: Optional[np.ndarray] = None,
+    keep_ub: Optional[np.ndarray] = None,
+    keep_eq: Optional[np.ndarray] = None,
+    transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> Optional[MIPProblem]:
+    """Candidate with rows/vars dropped and/or coefficients transformed."""
+    def pick_rows(a, b, keep):
+        if a is None or keep is None:
+            return a, b
+        if not keep.any():
+            return None, None
+        return a[keep], b[keep]
+
+    a_ub, b_ub = pick_rows(problem.a_ub, problem.b_ub, keep_ub)
+    a_eq, b_eq = pick_rows(problem.a_eq, problem.b_eq, keep_eq)
+    c, integer, lb, ub = problem.c, problem.integer, problem.lb, problem.ub
+    if keep_vars is not None:
+        if not keep_vars.any():
+            return None
+        c, integer, lb, ub = c[keep_vars], integer[keep_vars], lb[keep_vars], ub[keep_vars]
+        if a_ub is not None:
+            a_ub = a_ub[:, keep_vars]
+        if a_eq is not None:
+            a_eq = a_eq[:, keep_vars]
+    if transform is not None:
+        c = transform(c)
+        lb, ub = transform(lb), transform(ub)
+        if a_ub is not None:
+            a_ub, b_ub = transform(a_ub), transform(b_ub)
+        if a_eq is not None:
+            a_eq, b_eq = transform(a_eq), transform(b_eq)
+    try:
+        return MIPProblem(
+            c=np.array(c, dtype=np.float64, copy=True),
+            integer=np.array(integer, dtype=bool, copy=True),
+            a_ub=None if a_ub is None else np.array(a_ub, copy=True),
+            b_ub=None if b_ub is None else np.array(b_ub, copy=True),
+            a_eq=None if a_eq is None else np.array(a_eq, copy=True),
+            b_eq=None if b_eq is None else np.array(b_eq, copy=True),
+            lb=np.array(lb, dtype=np.float64, copy=True),
+            ub=np.array(ub, dtype=np.float64, copy=True),
+            name=f"{problem.name}~shrunk",
+        )
+    except ProblemFormatError:
+        return None
+
+
+def _chunk_masks(count: int) -> Iterator[np.ndarray]:
+    """Drop-masks over ``count`` items: halves, quarters, …, singles."""
+    if count <= 0:
+        return
+    chunk = max(1, count // 2)
+    while chunk >= 1:
+        for start in range(0, count, chunk):
+            keep = np.ones(count, dtype=bool)
+            keep[start : start + chunk] = False
+            yield keep
+        if chunk == 1:
+            break
+        chunk //= 2
+
+
+def _row_candidates(problem: MIPProblem) -> Iterator[MIPProblem]:
+    num_ub = 0 if problem.a_ub is None else problem.a_ub.shape[0]
+    num_eq = 0 if problem.a_eq is None else problem.a_eq.shape[0]
+    for keep in _chunk_masks(num_ub):
+        candidate = _rebuild(problem, keep_ub=keep)
+        if candidate is not None:
+            yield candidate
+    for keep in _chunk_masks(num_eq):
+        candidate = _rebuild(problem, keep_eq=keep)
+        if candidate is not None:
+            yield candidate
+
+
+def _var_candidates(problem: MIPProblem) -> Iterator[MIPProblem]:
+    for keep in _chunk_masks(problem.n):
+        candidate = _rebuild(problem, keep_vars=keep)
+        if candidate is not None:
+            yield candidate
+
+
+def _coefficient_candidates(problem: MIPProblem) -> Iterator[MIPProblem]:
+    for decimals in (0, 1, 2):
+        candidate = _rebuild(
+            problem, transform=lambda arr, d=decimals: np.round(arr, d)
+        )
+        if candidate is not None:
+            yield candidate
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    problem: MIPProblem
+    original_size: tuple
+    final_size: tuple
+    attempts: int
+    rounds: int
+
+    @property
+    def reduced(self) -> bool:
+        """True when the instance got strictly smaller."""
+        return self.final_size < self.original_size
+
+
+def shrink(
+    problem: MIPProblem,
+    predicate: Predicate,
+    max_attempts: int = 300,
+) -> ShrinkResult:
+    """Greedily minimize ``problem`` while ``predicate`` keeps holding.
+
+    ``predicate(candidate)`` must return True when the candidate still
+    exhibits the failure; predicate exceptions count as "does not fail"
+    so a shrink can never crash the fuzzing loop.
+    """
+    current = problem
+    original = _size(problem)
+    attempts = 0
+    rounds = 0
+
+    def still_fails(candidate: MIPProblem) -> bool:
+        nonlocal attempts
+        attempts += 1
+        try:
+            return bool(predicate(candidate))
+        except ReproError:
+            return False
+
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        rounds += 1
+        for pass_fn in (_row_candidates, _var_candidates, _coefficient_candidates):
+            # Re-enumerate after every acceptance: the candidate space
+            # depends on the current instance.
+            accepted = True
+            while accepted and attempts < max_attempts:
+                accepted = False
+                for candidate in pass_fn(current):
+                    if attempts >= max_attempts:
+                        break
+                    if _size(candidate) >= _size(current):
+                        continue
+                    if still_fails(candidate):
+                        current = candidate
+                        accepted = True
+                        improved = True
+                        break
+    return ShrinkResult(
+        problem=current,
+        original_size=original,
+        final_size=_size(current),
+        attempts=attempts,
+        rounds=rounds,
+    )

@@ -63,6 +63,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list mini-MIPLIB instances")
 
+    certify = sub.add_parser(
+        "certify",
+        help="solve an MPS model, then audit the answer with exact "
+        "certificates and cross-solver differential testing",
+    )
+    certify.add_argument("model", help="path to an MPS file")
+    certify.add_argument(
+        "--strategy",
+        choices=sorted(STRATEGIES),
+        default=None,
+        help="solve under a metered strategy engine before certifying",
+    )
+    certify.add_argument("--node-limit", type=int, default=200_000)
+    certify.add_argument(
+        "--skip-differential",
+        action="store_true",
+        help="certificate audit only (differential re-solves are slower)",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="randomized certificate/differential/metamorphic testing "
+        "with instance shrinking",
+    )
+    fuzz.add_argument("--budget", type=int, default=100, help="instances to fuzz")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--out", default="fuzz-repros", help="directory for shrunk repro files"
+    )
+    fuzz.add_argument("--max-vars", type=int, default=9)
+    fuzz.add_argument("--max-rows", type=int, default=7)
+    fuzz.add_argument("--no-shrink", action="store_true")
+    fuzz.add_argument("--no-differential", action="store_true")
+    fuzz.add_argument("--no-metamorphic", action="store_true")
+    fuzz.add_argument("--no-lp-differential", action="store_true")
+
+    replay = sub.add_parser(
+        "replay", help="re-run the failing check stored in a repro file"
+    )
+    replay.add_argument("repro", help="path to a repro JSON file")
+
     serve = sub.add_parser(
         "serve-bench",
         help="sweep the batching solve service over batching policies (§5.5)",
@@ -178,6 +219,72 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def cmd_certify(args) -> int:
+    """``repro certify``: solve, then independently audit the answer."""
+    from repro.check import certify_mip_result, differential_mip
+    from repro.reporting import render_certificate, render_differential
+
+    problem = read_mps(args.model)
+    options = SolverOptions(node_limit=args.node_limit)
+    if args.strategy:
+        result = run_strategy(problem, args.strategy, options).result
+    else:
+        result = BranchAndBoundSolver(problem, options).solve()
+    print(f"status    : {result.status.value}")
+    if result.x is not None:
+        print(f"objective : {result.objective:.6g}")
+
+    certificate = certify_mip_result(problem, result)
+    print()
+    print(render_certificate(certificate))
+    ok = certificate.ok
+
+    if not args.skip_differential:
+        diff = differential_mip(problem, node_limit=args.node_limit)
+        print()
+        print(render_differential(diff))
+        ok = ok and diff.ok
+
+    print()
+    print("certified: OK" if ok else "certified: FAILED")
+    return 0 if ok else 1
+
+
+def cmd_fuzz(args) -> int:
+    """``repro fuzz``: randomized correctness campaign with shrinking."""
+    from repro.check import FuzzOptions, run_fuzz
+    from repro.reporting import render_fuzz
+
+    options = FuzzOptions(
+        budget=args.budget,
+        seed=args.seed,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+        differential=not args.no_differential,
+        metamorphic=not args.no_metamorphic,
+        lp_differential=not args.no_lp_differential,
+        max_vars=args.max_vars,
+        max_rows=args.max_rows,
+    )
+    report = run_fuzz(options, log_fn=print)
+    print(render_fuzz(report))
+    return 0 if report.ok else 1
+
+
+def cmd_replay(args) -> int:
+    """``repro replay``: re-run the failing check in a repro file."""
+    from repro.check import replay_repro
+    from repro.reporting import render_fuzz
+
+    report = replay_repro(args.repro)
+    print(render_fuzz(report))
+    if report.ok:
+        print("replay: the stored failure no longer reproduces")
+        return 0
+    print("replay: still failing")
+    return 1
+
+
 def cmd_serve_bench(args) -> int:
     """``repro serve-bench``: offered load vs batching policy sweep."""
     from repro.serve import BatchingPolicy, lp_pool, run_load, synthetic_stream
@@ -257,6 +364,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": cmd_generate,
         "info": cmd_info,
         "list": cmd_list,
+        "certify": cmd_certify,
+        "fuzz": cmd_fuzz,
+        "replay": cmd_replay,
         "serve-bench": cmd_serve_bench,
     }
     try:

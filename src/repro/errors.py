@@ -154,3 +154,57 @@ class RequestTimeout(ServiceError):
 
 class ServiceClosed(ServiceError):
     """An operation was issued against a service that has been shut down."""
+
+
+# ---------------------------------------------------------------------------
+# Correctness tooling (repro.check)
+# ---------------------------------------------------------------------------
+
+
+class CheckError(ReproError):
+    """Base class for correctness-tooling (``repro.check``) failures.
+
+    Raised only when a caller asks a report to escalate
+    (``report.raise_for_failures()``); the check functions themselves
+    return reports instead of raising so fuzzing can keep going.
+    """
+
+
+class CertificateViolation(CheckError):
+    """An exact-arithmetic certificate check failed on a returned solution."""
+
+    def __init__(self, check: str, violation: float, tolerance: float):
+        self.check = check
+        self.violation = violation
+        self.tolerance = tolerance
+        super().__init__(
+            f"certificate check {check!r} violated: "
+            f"{violation:.6g} exceeds tolerance {tolerance:.6g}"
+        )
+
+
+class SolverDisagreement(CheckError):
+    """Two solvers disagreed on one instance beyond tolerance."""
+
+    def __init__(self, left: str, right: str, kind: str, delta: float):
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.delta = delta
+        super().__init__(
+            f"solvers {left!r} and {right!r} disagree on {kind} "
+            f"(delta {delta:.6g})"
+        )
+
+
+class MetamorphicViolation(CheckError):
+    """A property-preserving transform changed the optimum unexpectedly."""
+
+    def __init__(self, transform: str, expected: float, actual: float):
+        self.transform = transform
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"metamorphic transform {transform!r} expected optimum "
+            f"{expected:.6g}, solver returned {actual:.6g}"
+        )

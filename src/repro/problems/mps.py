@@ -81,6 +81,13 @@ def _write(problem: MIPProblem, out: TextIO) -> None:
     for j in range(problem.n):
         name = f"X{j}"
         lo, hi = problem.lb[j], problem.ub[j]
+        # The bound grammar has no spelling for lb=+inf / ub=-inf; writing
+        # such a box would silently round-trip as a different problem.
+        if lo == np.inf or hi == -np.inf:
+            raise ProblemFormatError(
+                f"variable {name} has unrepresentable bounds "
+                f"[{lo}, {hi}]: MPS cannot express lb=+inf or ub=-inf"
+            )
         if np.isfinite(lo) and np.isfinite(hi) and lo == hi:
             out.write(f" FX BND       {name:<10}{float(lo)!r}\n")
             continue

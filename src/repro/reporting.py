@@ -93,6 +93,89 @@ def render_metrics(metrics, title: Optional[str] = None, prefix: Optional[str] =
     return render_table(["metric", "value"], rows, title=title)
 
 
+def render_certificate(report) -> str:
+    """Table of a :class:`repro.check.CertificateReport`'s exact checks."""
+    rows = [
+        (
+            check.name,
+            "pass" if check.ok else "FAIL",
+            check.violation,
+            check.tolerance,
+            check.detail,
+        )
+        for check in report.checks
+    ]
+    return render_table(
+        ["check", "status", "violation", "tolerance", "detail"],
+        rows,
+        title=f"certificate: {report.problem_name}",
+    )
+
+
+def render_differential(report) -> str:
+    """Tables of a :class:`repro.check.DifferentialReport`'s runs/conflicts."""
+    rows = [
+        (
+            run.name,
+            run.status,
+            run.objective,
+            "yes" if run.conclusive else "no",
+        )
+        for run in report.runs
+    ]
+    out = render_table(
+        ["solver", "status", "objective", "conclusive"],
+        rows,
+        title=f"differential: {report.problem_name}",
+    )
+    if report.disagreements:
+        conflict_rows = [
+            (d.left, d.right, d.kind, d.left_value, d.right_value, d.delta)
+            for d in report.disagreements
+        ]
+        out += "\n" + render_table(
+            ["left", "right", "kind", "left value", "right value", "delta"],
+            conflict_rows,
+            title="DISAGREEMENTS",
+        )
+    return out
+
+
+def render_fuzz(report) -> str:
+    """Summary + failure tables of a :class:`repro.check.FuzzReport`."""
+    rows = [
+        ("instances", report.instances),
+        ("certificate checks", report.certificate_checks),
+        ("differential checks", report.differential_checks),
+        ("LP differential checks", report.lp_differential_checks),
+        ("metamorphic checks", report.metamorphic_checks),
+        ("solver errors", report.solver_errors),
+        ("failures", len(report.failures)),
+    ]
+    out = render_table(
+        ["metric", "value"],
+        rows,
+        title=f"fuzz: budget {report.budget}, seed {report.seed}",
+    )
+    if report.failures:
+        failure_rows = [
+            (
+                f.kind,
+                f.iteration,
+                "x".join(str(v) for v in f.shrunk_size) or "-",
+                f.repro_path,
+                f.detail[:60],
+            )
+            for f in report.failures
+        ]
+        out += "\n" + render_table(
+            ["kind", "iter", "shrunk (m,n,nnz)", "repro file", "detail"],
+            failure_rows,
+            title="FAILURES",
+        )
+    return out
+
+
 def sparkline(values: Sequence[Number]) -> str:
     """One-line unicode sparkline of a series."""
     values = [float(v) for v in values]

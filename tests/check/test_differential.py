@@ -1,0 +1,101 @@
+"""Differential cross-solver tests: agreement on healthy instances,
+detection on contrived contradictions."""
+
+import pytest
+
+from repro.check import DifferentialReport, SolverRun, differential_lp, differential_mip
+from repro.check.differential import DIFFERENTIAL_RTOL
+from repro.errors import SolverDisagreement
+from repro.problems.knapsack import generate_knapsack
+from repro.problems.random_mip import generate_random_mip
+
+
+class TestDifferentialLP:
+    def test_all_solvers_agree_on_random_relaxations(self):
+        for seed in range(4):
+            lp = generate_random_mip(6, 4, seed=seed, density=0.8).relaxation()
+            report = differential_lp(lp)
+            assert report.ok, report.disagreements
+            names = [r.name for r in report.runs]
+            assert "simplex" in names and "dual_simplex" in names
+
+    def test_batch_pair_runs_when_lockstep_compatible(self):
+        lp = generate_knapsack(10, seed=1).relaxation()
+        report = differential_lp(lp)
+        assert report.ok
+        names = [r.name for r in report.runs]
+        assert "batch_simplex[0]" in names and "batch_simplex[1]" in names
+
+    def test_iteration_limit_is_inconclusive_not_flagged(self):
+        lp = generate_random_mip(5, 3, seed=1).relaxation()
+        report = differential_lp(lp)
+        for run in report.runs:
+            if run.status == "iteration_limit":
+                assert not run.conclusive
+
+
+class TestDifferentialMIP:
+    def test_all_configurations_agree(self):
+        for seed in range(3):
+            problem = generate_random_mip(6, 4, seed=seed, density=0.7)
+            report = differential_mip(problem)
+            assert report.ok, report.disagreements
+            assert len([r for r in report.runs if r.conclusive]) >= 6
+
+    def test_strategy_skip(self):
+        problem = generate_random_mip(5, 3, seed=4)
+        report = differential_mip(problem, strategies=())
+        assert report.ok
+        assert all(r.name.startswith("bb/") for r in report.runs)
+
+
+class TestPairComparison:
+    def _report(self, runs):
+        report = DifferentialReport(problem_name="contrived", runs=runs)
+        report._compare_pairs(DIFFERENTIAL_RTOL)
+        return report
+
+    def test_status_contradiction_flagged(self):
+        report = self._report(
+            [
+                SolverRun(name="a", status="optimal", objective=1.0),
+                SolverRun(name="b", status="infeasible", objective=float("nan")),
+            ]
+        )
+        assert not report.ok
+        assert report.disagreements[0].kind == "status"
+
+    def test_objective_gap_flagged(self):
+        report = self._report(
+            [
+                SolverRun(name="a", status="optimal", objective=10.0),
+                SolverRun(name="b", status="optimal", objective=10.5),
+            ]
+        )
+        assert not report.ok
+        assert report.disagreements[0].kind == "objective"
+        with pytest.raises(SolverDisagreement):
+            report.raise_for_failures()
+
+    def test_inconclusive_runs_never_flag(self):
+        report = self._report(
+            [
+                SolverRun(name="a", status="optimal", objective=10.0),
+                SolverRun(
+                    name="b",
+                    status="iteration_limit",
+                    objective=0.0,
+                    conclusive=False,
+                ),
+            ]
+        )
+        assert report.ok
+
+    def test_tolerance_respected(self):
+        report = self._report(
+            [
+                SolverRun(name="a", status="optimal", objective=10.0),
+                SolverRun(name="b", status="optimal", objective=10.0 + 1e-9),
+            ]
+        )
+        assert report.ok

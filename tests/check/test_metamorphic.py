@@ -1,0 +1,110 @@
+"""Metamorphic transform tests: exact expected-optimum relations."""
+
+import numpy as np
+import pytest
+
+from repro.check import check_metamorphic, metamorphic_variants
+from repro.check.metamorphic import reflect_box, scale_objective
+from repro.errors import MetamorphicViolation
+from repro.mip.problem import MIPProblem
+from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+from repro.problems.random_mip import generate_random_mip
+
+
+def _solve(problem):
+    return BranchAndBoundSolver(problem, SolverOptions()).solve()
+
+
+class TestVariantConstruction:
+    def test_all_variants_applicable_to_boxed_instances(self):
+        problem = generate_random_mip(6, 4, seed=0)
+        result = _solve(problem)
+        variants = metamorphic_variants(
+            problem, np.random.default_rng(0), x_opt=result.x
+        )
+        names = {v.name.split("[")[0] for v in variants}
+        assert names == {
+            "permute_variables",
+            "permute_rows",
+            "scale_rows",
+            "scale_objective",
+            "reflect_box",
+            "fix_variable",
+        }
+
+    def test_reflect_box_requires_finite_bounds(self):
+        problem = MIPProblem(
+            c=np.array([1.0, 1.0]),
+            integer=np.array([True, False]),
+            a_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([4.0]),
+            lb=np.zeros(2),
+            ub=np.array([3.0, np.inf]),
+        )
+        assert reflect_box(problem, np.random.default_rng(0)) is None
+
+    def test_scale_objective_relation_is_exact(self):
+        problem = generate_random_mip(5, 3, seed=1)
+        variant = scale_objective(problem, np.random.default_rng(1))
+        # Power-of-two scaling: the expected value is exact in floats.
+        base = _solve(problem).objective
+        assert _solve(variant.problem).objective == pytest.approx(
+            variant.expected(base), rel=1e-12
+        )
+
+    def test_max_variants_sampling_is_deterministic(self):
+        problem = generate_random_mip(5, 3, seed=2)
+        names1 = [
+            v.name
+            for v in metamorphic_variants(
+                problem, np.random.default_rng(7), max_variants=3
+            )
+        ]
+        names2 = [
+            v.name
+            for v in metamorphic_variants(
+                problem, np.random.default_rng(7), max_variants=3
+            )
+        ]
+        assert names1 == names2 and len(names1) == 3
+
+
+class TestCheckMetamorphic:
+    def test_honest_solver_passes_all_variants(self):
+        for seed in range(4):
+            problem = generate_random_mip(6, 4, seed=seed, density=0.8)
+            result = _solve(problem)
+            report = check_metamorphic(
+                problem, result, _solve, np.random.default_rng(seed)
+            )
+            assert report.ok, [(o.name, o.detail) for o in report.failures]
+            assert len(report.outcomes) >= 5
+
+    def test_objective_drifting_solver_is_caught(self):
+        problem = generate_random_mip(6, 4, seed=5)
+        base = _solve(problem)
+
+        calls = {"n": 0}
+
+        def drifting(p):
+            # Honest on the base problem, lies on every variant re-solve.
+            result = _solve(p)
+            calls["n"] += 1
+            result.objective += 0.25
+            return result
+
+        report = check_metamorphic(
+            problem, base, drifting, np.random.default_rng(0)
+        )
+        assert not report.ok
+        with pytest.raises(MetamorphicViolation):
+            report.raise_for_failures()
+
+    def test_non_optimal_base_yields_empty_report(self):
+        problem = generate_random_mip(5, 3, seed=6)
+        result = _solve(problem)
+        result.x = None
+        report = check_metamorphic(
+            problem, result, _solve, np.random.default_rng(0)
+        )
+        assert report.outcomes == [] and report.ok

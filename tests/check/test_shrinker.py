@@ -1,0 +1,61 @@
+"""Greedy shrinker tests: minimization, predicate safety, monotone size."""
+
+import numpy as np
+
+from repro.check import shrink
+from repro.check.shrinker import _size
+from repro.errors import ReproError
+from repro.problems.random_mip import generate_random_mip
+
+
+class TestShrink:
+    def test_shrinks_to_single_variable_for_trivial_predicate(self):
+        problem = generate_random_mip(8, 6, seed=0, density=0.8)
+
+        result = shrink(problem, lambda p: True)
+        assert result.reduced
+        rows, n, nnz = result.final_size
+        assert n == 1 and rows == 0
+
+    def test_preserves_failure_property(self):
+        problem = generate_random_mip(8, 6, seed=1, density=0.9)
+        # "Fails" whenever some coefficient of c is negative.
+        predicate = lambda p: bool(np.any(p.c < 0))
+        assert predicate(problem)
+
+        result = shrink(problem, predicate)
+        assert predicate(result.problem)
+        assert result.final_size <= result.original_size
+
+    def test_size_never_increases(self):
+        problem = generate_random_mip(7, 5, seed=2)
+        result = shrink(problem, lambda p: p.n >= 2)
+        assert result.final_size <= _size(problem)
+        assert result.problem.n >= 2
+
+    def test_predicate_exception_counts_as_not_failing(self):
+        problem = generate_random_mip(6, 4, seed=3)
+
+        def touchy(p):
+            if p.n < problem.n:
+                raise ReproError("cannot evaluate reduced instance")
+            return True
+
+        result = shrink(problem, touchy)
+        # Nothing smaller is accepted, so the instance survives unchanged.
+        assert result.problem.n == problem.n
+
+    def test_attempt_budget_respected(self):
+        problem = generate_random_mip(8, 6, seed=4, density=0.9)
+        result = shrink(problem, lambda p: True, max_attempts=10)
+        assert result.attempts <= 10
+
+    def test_deterministic(self):
+        problem = generate_random_mip(8, 6, seed=5, density=0.8)
+        predicate = lambda p: bool(np.any(p.c < 0))
+        if not predicate(problem):
+            predicate = lambda p: True
+        r1 = shrink(problem, predicate)
+        r2 = shrink(problem, predicate)
+        assert r1.final_size == r2.final_size
+        assert np.array_equal(r1.problem.c, r2.problem.c)

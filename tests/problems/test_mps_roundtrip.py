@@ -1,0 +1,113 @@
+"""MPS write→read round-trips on generated instances: every coefficient,
+bound, and integrality marker must survive exactly."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ProblemFormatError
+from repro.mip.problem import MIPProblem
+from repro.problems.knapsack import generate_knapsack
+from repro.problems.mps import read_mps, write_mps
+from repro.problems.random_mip import generate_random_mip
+
+
+def _roundtrip(problem):
+    buffer = io.StringIO()
+    write_mps(problem, buffer)
+    buffer.seek(0)
+    return read_mps(buffer)
+
+
+def _assert_identical(a, b):
+    np.testing.assert_array_equal(a.c, b.c)
+    np.testing.assert_array_equal(a.integer, b.integer)
+    if a.a_ub is None:
+        assert b.a_ub is None or b.a_ub.size == 0
+    else:
+        np.testing.assert_array_equal(a.a_ub, b.a_ub)
+        np.testing.assert_array_equal(a.b_ub, b.b_ub)
+    if a.a_eq is None:
+        assert b.a_eq is None or b.a_eq.size == 0
+    else:
+        np.testing.assert_array_equal(a.a_eq, b.a_eq)
+        np.testing.assert_array_equal(a.b_eq, b.b_eq)
+    np.testing.assert_array_equal(a.lb, b.lb)
+    np.testing.assert_array_equal(a.ub, b.ub)
+
+
+class TestExactRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_mip_roundtrip_is_exact(self, seed):
+        problem = generate_random_mip(
+            8, 6, seed=seed, density=0.3 + 0.08 * seed
+        )
+        _assert_identical(problem, _roundtrip(problem))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_knapsack_roundtrip_is_exact(self, seed):
+        problem = generate_knapsack(12, seed=seed)
+        _assert_identical(problem, _roundtrip(problem))
+
+    def test_awkward_float_coefficients_survive(self):
+        # repr-based writing must preserve full float64 precision.
+        c = np.array([0.1, 1 / 3, 1e-17 + 1.0, 123456789.123456789])
+        problem = MIPProblem(
+            c=c,
+            integer=np.array([False, True, False, True]),
+            a_ub=np.array([[0.30000000000000004, 2.0, np.pi, 1e-300]]),
+            b_ub=np.array([7.000000000000001]),
+            lb=np.array([0.0, 0.0, -2.5, 0.0]),
+            ub=np.array([1.0, 3.0, 2.5, 4.0]),
+        )
+        _assert_identical(problem, _roundtrip(problem))
+
+    def test_free_and_fixed_bounds_survive(self):
+        problem = MIPProblem(
+            c=np.array([1.0, -1.0, 2.0]),
+            integer=np.array([False, False, True]),
+            a_ub=np.array([[1.0, 1.0, 1.0]]),
+            b_ub=np.array([10.0]),
+            lb=np.array([-np.inf, 2.5, 0.0]),
+            ub=np.array([np.inf, 2.5, 3.0]),
+        )
+        back = _roundtrip(problem)
+        _assert_identical(problem, back)
+        assert back.lb[0] == -np.inf and back.ub[0] == np.inf
+        assert back.lb[1] == back.ub[1] == 2.5
+
+    def test_double_roundtrip_is_byte_identical(self):
+        problem = generate_random_mip(7, 5, seed=3)
+        first = io.StringIO()
+        write_mps(problem, first)
+        second = io.StringIO()
+        first.seek(0)
+        write_mps(read_mps(first), second)
+        assert first.getvalue() == second.getvalue()
+
+
+class TestUnrepresentableBounds:
+    def test_plus_inf_lower_bound_is_rejected_not_corrupted(self):
+        problem = MIPProblem(
+            c=np.array([1.0]),
+            integer=np.array([False]),
+            a_ub=np.array([[1.0]]),
+            b_ub=np.array([1.0]),
+            lb=np.array([np.inf]),
+            ub=np.array([np.inf]),
+        )
+        with pytest.raises(ProblemFormatError):
+            write_mps(problem, io.StringIO())
+
+    def test_minus_inf_upper_bound_is_rejected_not_corrupted(self):
+        problem = MIPProblem(
+            c=np.array([1.0]),
+            integer=np.array([False]),
+            a_ub=np.array([[1.0]]),
+            b_ub=np.array([1.0]),
+            lb=np.array([-np.inf]),
+            ub=np.array([-np.inf]),
+        )
+        with pytest.raises(ProblemFormatError):
+            write_mps(problem, io.StringIO())

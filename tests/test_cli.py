@@ -90,3 +90,93 @@ class TestServeBench:
     def test_bad_batch_sizes_errors(self, capsys):
         assert main(["serve-bench", "--batch-sizes", "x,y"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestCertify:
+    def test_certify_honest_model(self, model_path, capsys):
+        assert main(["certify", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "certificate" in out
+        assert "differential" in out
+        assert "certified: OK" in out
+
+    def test_certify_skip_differential(self, model_path, capsys):
+        assert main(["certify", model_path, "--skip-differential"]) == 0
+        out = capsys.readouterr().out
+        assert "differential" not in out
+        assert "certified: OK" in out
+
+    def test_certify_with_strategy(self, model_path, capsys):
+        assert (
+            main(
+                [
+                    "certify", model_path,
+                    "--strategy", "cpu_orchestrated",
+                    "--skip-differential",
+                ]
+            )
+            == 0
+        )
+        assert "certified: OK" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    def test_clean_fuzz_run_exits_zero(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--budget", "3",
+                    "--seed", "0",
+                    "--out", str(tmp_path),
+                    "--max-vars", "5",
+                    "--max-rows", "3",
+                    "--no-metamorphic",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fuzz" in out and "failures" in out
+
+    def test_replay_missing_file_errors(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "missing.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_fuzz_then_replay_roundtrip(self, tmp_path, capsys, monkeypatch):
+        # Corrupt the solver the fuzzer uses, harvest a repro, then replay it
+        # through the CLI (which uses the honest solver): no longer reproduces.
+        import repro.check.fuzz as fuzz_mod
+
+        honest = fuzz_mod.default_solve_fn()
+
+        def corrupt_factory(node_limit=None):
+            def solve(problem):
+                result = honest(problem)
+                if result.objective is not None:
+                    result.objective += 0.5
+                return result
+
+            return solve
+
+        monkeypatch.setattr(fuzz_mod, "default_solve_fn", corrupt_factory)
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--budget", "1",
+                    "--seed", "0",
+                    "--out", str(tmp_path),
+                    "--no-differential",
+                    "--no-lp-differential",
+                    "--no-metamorphic",
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+        repros = sorted(tmp_path.glob("*.json"))
+        assert repros
+        monkeypatch.undo()
+        assert main(["replay", str(repros[0])]) == 0
+        assert "no longer reproduces" in capsys.readouterr().out
