@@ -14,12 +14,16 @@ Subpackages
 - :mod:`repro.strategies` — the paper's four parallel execution strategies.
 - :mod:`repro.problems` — seeded instance generators and MPS I/O.
 
+- :mod:`repro.obs` — unified span tracing, metrics, timeline export.
+
 The most used entry points are re-exported here::
 
     from repro import MIPProblem, BranchAndBoundSolver, SolverOptions
     from repro import LinearProgram, solve_lp, run_strategy
+    from repro.api import solve, SolveOptions   # the unified front door
 """
 
+from repro import obs
 from repro.lp.problem import LinearProgram
 from repro.lp.simplex import SimplexOptions, solve_lp
 from repro.mip.problem import MIPProblem
@@ -31,6 +35,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "obs",
     "LinearProgram",
     "solve_lp",
     "SimplexOptions",

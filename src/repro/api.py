@@ -1,0 +1,236 @@
+"""repro.api — the single front door for solving LPs and MIPs.
+
+Historically the repo grew three solve entry points: direct
+:class:`repro.mip.solver.BranchAndBoundSolver` construction, the
+strategy runner (:mod:`repro.strategies.runner`), and the serving
+layer's internal per-member path.  :func:`solve` consolidates them:
+
+    from repro.api import solve, SolveOptions
+
+    report = solve(problem)                                  # host-exact
+    report = solve(problem, SolveOptions(strategy="hybrid")) # metered §5
+    report = solve(problem, SolveOptions(trace=True))        # + timeline
+
+Strategy names resolve through :mod:`repro.strategies.registry`; the
+CLI and :class:`repro.serve.SolveService` both route through here, so a
+new registered engine is immediately reachable from every surface.
+
+:class:`SolveReport` is the one result shape — status, objective,
+incumbent, bounds, per-device metrics, and the trace id — with
+``to_dict()`` mirroring :meth:`StrategyReport.to_dict` and
+:meth:`repro.serve.SolveResponse.to_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro import obs
+from repro.device.gpu import Device
+from repro.device import kernels as K
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.simplex import solve_standard_form
+from repro.mip.problem import MIPProblem
+from repro.mip.result import MIPResult, MIPStatus
+from repro.mip.solver import BranchAndBoundSolver, ExecutionEngine, SolverOptions
+from repro.strategies import registry
+
+Problem = Union[LinearProgram, MIPProblem]
+
+#: Statuses that terminate a solve with a definitive answer.
+TERMINAL_LP = (LPStatus.OPTIMAL, LPStatus.INFEASIBLE, LPStatus.UNBOUNDED)
+TERMINAL_MIP = (MIPStatus.OPTIMAL, MIPStatus.INFEASIBLE, MIPStatus.UNBOUNDED)
+
+
+@dataclass
+class SolveOptions:
+    """Everything :func:`solve` needs beyond the problem itself."""
+
+    #: Registered strategy name ("direct" = exact host engine, free).
+    strategy: str = "direct"
+    #: Branch-and-cut configuration (ignored for plain LPs).
+    solver: SolverOptions = field(default_factory=SolverOptions)
+    #: Explicit engine instance; overrides ``strategy`` when given.
+    engine: Optional[ExecutionEngine] = None
+    #: Charge the solve's kernel stream to this simulated device
+    #: (the serving layer's per-member path).
+    device: Optional[Device] = None
+    #: With ``device``: node-level batch size for the batched-node MIP
+    #: solver (0 = plain branch-and-cut on the chosen engine).
+    mip_node_batch: int = 0
+    #: Install a fresh tracer for this call when none is active; the
+    #: tracer is attached to the report for export.
+    trace: bool = False
+
+
+@dataclass
+class SolveReport:
+    """Uniform outcome of one :func:`solve` call."""
+
+    status: str
+    objective: float
+    x: Optional[np.ndarray]
+    strategy: str
+    trace_id: str = ""
+    best_bound: float = float("inf")
+    gap: float = float("inf")
+    nodes: int = 0
+    lp_iterations: int = 0
+    #: Simulated seconds on the metered device(s) (0 for host-exact runs).
+    makespan_seconds: float = 0.0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Underlying raw results, for callers that need full detail.
+    result: Optional[MIPResult] = None
+    lp_result: Optional[LPResult] = None
+    strategy_report: Optional[Any] = None
+    #: The tracer installed by ``SolveOptions.trace`` (None otherwise).
+    tracer: Optional[obs.Tracer] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the solver proved optimality."""
+        return self.status == "optimal"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary with the shared report shape."""
+        return {
+            "status": self.status,
+            "objective": None if np.isnan(self.objective) else float(self.objective),
+            "strategy": self.strategy,
+            "trace_id": self.trace_id,
+            "bounds": {
+                "best_bound": (
+                    None if not np.isfinite(self.best_bound) else float(self.best_bound)
+                ),
+                "gap": None if not np.isfinite(self.gap) else float(self.gap),
+            },
+            "nodes": self.nodes,
+            "lp_iterations": self.lp_iterations,
+            "makespan_seconds": self.makespan_seconds,
+            "metrics": self.metrics,
+        }
+
+
+def solve(problem: Problem, options: Optional[SolveOptions] = None) -> SolveReport:
+    """Solve an LP or MIP through the strategy registry.
+
+    This is the path the CLI's ``solve``, the strategy runner, and the
+    serving layer all share.  Raises :class:`repro.errors.ReproError`
+    on unknown strategy names.
+    """
+    options = options or SolveOptions()
+    if options.trace and obs.active() is None:
+        with obs.tracing() as tracer:
+            report = _solve(problem, options)
+            report.tracer = tracer
+            report.trace_id = tracer.trace_id
+            return report
+    report = _solve(problem, options)
+    tracer = obs.active()
+    if tracer is not None and not report.trace_id:
+        report.trace_id = tracer.trace_id
+    return report
+
+
+def _solve(problem: Problem, options: SolveOptions) -> SolveReport:
+    if isinstance(problem, MIPProblem):
+        if options.mip_node_batch > 0 and options.device is not None:
+            return _solve_mip_batched(problem, options)
+        return _solve_mip(problem, options)
+    return _solve_lp(problem, options)
+
+
+def _solve_mip(problem: MIPProblem, options: SolveOptions) -> SolveReport:
+    engine = options.engine
+    strategy = options.strategy
+    if engine is None:
+        engine = registry.engine_for(strategy, options.solver.simplex)
+    solver = BranchAndBoundSolver(problem, options.solver, engine=engine)
+    result = solver.solve()
+
+    strategy_report = None
+    if hasattr(engine, "report"):
+        strategy_report = engine.report(result, strategy=strategy)
+    metrics: Dict[str, Any] = {}
+    device = getattr(engine, "device", None)
+    if device is not None:
+        metrics = device.metrics.to_dict()
+
+    report = SolveReport(
+        status=result.status.value,
+        objective=float(result.objective),
+        x=result.x,
+        strategy=strategy,
+        best_bound=float(result.best_bound),
+        gap=float(result.gap),
+        nodes=result.stats.nodes_processed,
+        lp_iterations=result.stats.lp_iterations,
+        makespan_seconds=engine.elapsed_seconds,
+        metrics=metrics,
+        result=result,
+        strategy_report=strategy_report,
+    )
+    tracer = obs.active()
+    if tracer is not None:
+        report.trace_id = tracer.trace_id
+        if strategy_report is not None:
+            strategy_report.trace_id = tracer.trace_id
+    return report
+
+
+def _solve_mip_batched(problem: MIPProblem, options: SolveOptions) -> SolveReport:
+    """The serving layer's per-member MIP path: batched-node B&B on a device."""
+    from repro.mip.batch_solver import BatchedNodeSolver, BatchedSolverOptions
+
+    device = options.device
+    solver = BatchedNodeSolver(
+        problem,
+        options=BatchedSolverOptions(batch_size=options.mip_node_batch),
+        device=device,
+    )
+    result = solver.solve()
+    return SolveReport(
+        status=result.status.value,
+        objective=float(result.objective),
+        x=result.x,
+        strategy="batched_node",
+        best_bound=float(result.best_bound),
+        gap=float(result.gap),
+        nodes=result.stats.nodes_processed,
+        lp_iterations=result.stats.lp_iterations,
+        makespan_seconds=device.clock.now,
+        metrics=device.metrics.to_dict(),
+        result=result,
+    )
+
+
+def _solve_lp(problem: LinearProgram, options: SolveOptions) -> SolveReport:
+    """Plain LP path; with a device, charge the serial small-LP stream."""
+    sf = problem.to_standard_form()
+    result = solve_standard_form(sf, options=options.solver.simplex)
+    device = options.device
+    if device is not None:
+        # One small-LP kernel stream (factor + per-iteration solves),
+        # the serial shape the serving layer's E7 benchmark measures.
+        device._charge(K.getrf_kernel(sf.m), None)
+        for _ in range(max(1, result.iterations)):
+            device._charge(K.trsv_kernel(sf.m), None)
+            device._charge(K.trsv_kernel(sf.m), None)
+            device._charge(K.gemv_kernel(sf.n, sf.m), None)
+    x = None
+    if result.status is LPStatus.OPTIMAL and result.x_standard is not None:
+        x = sf.recover_x(result.x_standard)
+    return SolveReport(
+        status=result.status.value,
+        objective=float(result.objective),
+        x=x,
+        strategy="lp",
+        lp_iterations=result.iterations,
+        makespan_seconds=0.0 if device is None else device.clock.now,
+        metrics={} if device is None else device.metrics.to_dict(),
+        lp_result=result,
+    )

@@ -1,12 +1,17 @@
 """Command-line interface: solve / generate / info over MPS files.
 
     python -m repro solve model.mps --strategy cpu_orchestrated
+    python -m repro solve model.mps --trace out.json
+    python -m repro trace out.json
     python -m repro generate knap-20 -o knap.mps
     python -m repro info model.mps
 
-``solve`` runs branch-and-cut (optionally under one of the paper's
-metered strategy engines, printing the platform report) and supports
-checkpointing to / restarting from a JSON snapshot.
+``solve`` runs branch-and-cut through :func:`repro.api.solve`
+(optionally under one of the paper's metered strategy engines, printing
+the platform report) and supports checkpointing to / restarting from a
+JSON snapshot.  ``--trace out.json`` on ``solve`` and ``serve-bench``
+exports the run's unified timeline as Chrome trace JSON
+(``about://tracing`` / Perfetto); ``trace`` summarizes such a file.
 """
 
 from __future__ import annotations
@@ -17,14 +22,22 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ReproError
 from repro.mip.checkpoint import load_snapshot, save_snapshot
 from repro.mip.snapshot import capture_snapshot, resume_from_snapshot
-from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+from repro.mip.solver import SolverOptions
 from repro.problems.miplib import MINI_MIPLIB, instance_by_name
 from repro.problems.mps import read_mps, write_mps
-from repro.reporting import format_bytes, format_seconds, render_metrics, render_table
-from repro.strategies.runner import STRATEGIES, run_strategy
+from repro.reporting import (
+    format_bytes,
+    format_seconds,
+    render_metrics,
+    render_percentiles,
+    render_table,
+    render_trace,
+)
+from repro.strategies.runner import STRATEGIES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--restart-from", default=None, help="resume from a snapshot file"
     )
+    solve.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="export the run's timeline as Chrome trace JSON",
+    )
 
     generate = sub.add_parser("generate", help="write a mini-MIPLIB instance")
     generate.add_argument("name", choices=sorted(MINI_MIPLIB))
@@ -62,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("model")
 
     sub.add_parser("list", help="list mini-MIPLIB instances")
+
+    trace = sub.add_parser(
+        "trace", help="validate and summarize an exported Chrome trace file"
+    )
+    trace.add_argument("file", help="path to a Chrome trace JSON file")
+    trace.add_argument(
+        "--limit", type=int, default=20, help="rows in the summary table"
+    )
 
     certify = sub.add_parser(
         "certify",
@@ -126,11 +151,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-metrics", action="store_true",
         help="print the per-stage metrics of the last configuration",
     )
+    serve.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="export the last configuration's timeline as Chrome trace JSON",
+    )
     return parser
 
 
+def _export_trace(tracer, path: str) -> None:
+    """Write a tracer's Chrome trace and print a confirmation line."""
+    trace = obs.write_chrome_trace(tracer, path)
+    print(f"trace     : {path} ({len(trace['traceEvents'])} events)")
+
+
 def cmd_solve(args) -> int:
-    """``repro solve``: branch-and-cut an MPS model (optionally metered)."""
+    """``repro solve``: branch-and-cut an MPS model via :func:`repro.api.solve`."""
+    from repro.api import SolveOptions, solve
+
     problem = read_mps(args.model)
     options = SolverOptions(
         branching=args.branching,
@@ -149,42 +186,51 @@ def cmd_solve(args) -> int:
             print(f"objective : {result.objective:.6g}")
         return 0 if result.ok else 1
 
-    if args.strategy:
-        report = run_strategy(problem, args.strategy, options)
-        result = report.result
-        print(f"strategy  : {args.strategy}")
-        print(f"status    : {result.status.value}")
-        if result.x is not None:
-            print(f"objective : {result.objective:.6g}")
-        print(f"nodes     : {result.stats.nodes_processed}")
-        print(f"makespan  : {format_seconds(report.makespan_seconds)} (simulated)")
-        print(f"kernels   : {report.kernels}")
-        print(
-            f"transfers : {report.h2d_transfers + report.d2h_transfers} "
-            f"({format_bytes(report.bytes_moved)})"
-        )
-        return 0 if result.ok else 1
+    report = solve(
+        problem,
+        SolveOptions(
+            strategy=args.strategy or "direct",
+            solver=options,
+            trace=args.trace is not None,
+        ),
+    )
+    result = report.result
 
-    solver = BranchAndBoundSolver(problem, options)
-    result = solver.solve()
-    print(f"status    : {result.status.value}")
-    if result.x is not None:
-        print(f"objective : {result.objective:.6g}")
-        nonzero = [
-            (f"x{j}", result.x[j])
-            for j in range(problem.n)
-            if abs(result.x[j]) > 1e-9
-        ]
-        if len(nonzero) <= 30:
-            print(render_table(["var", "value"], nonzero))
-    print(f"nodes     : {result.stats.nodes_processed}")
-    print(f"LP iters  : {result.stats.lp_iterations}")
-    if args.checkpoint and result.tree is not None:
-        incumbent = result.objective if result.x is not None else -np.inf
-        snap = capture_snapshot(result.tree, incumbent, result.x)
-        save_snapshot(snap, args.checkpoint)
-        print(f"checkpoint: {args.checkpoint} ({snap.num_leaves} open leaves)")
-    return 0 if result.ok else 1
+    if args.strategy:
+        sr = report.strategy_report
+        print(f"strategy  : {args.strategy}")
+        print(f"status    : {report.status}")
+        if report.x is not None:
+            print(f"objective : {report.objective:.6g}")
+        print(f"nodes     : {report.nodes}")
+        print(f"makespan  : {format_seconds(report.makespan_seconds)} (simulated)")
+        print(f"kernels   : {sr.kernels}")
+        print(
+            f"transfers : {sr.h2d_transfers + sr.d2h_transfers} "
+            f"({format_bytes(sr.bytes_moved)})"
+        )
+    else:
+        print(f"status    : {report.status}")
+        if report.x is not None:
+            print(f"objective : {report.objective:.6g}")
+            nonzero = [
+                (f"x{j}", report.x[j])
+                for j in range(problem.n)
+                if abs(report.x[j]) > 1e-9
+            ]
+            if len(nonzero) <= 30:
+                print(render_table(["var", "value"], nonzero))
+        print(f"nodes     : {report.nodes}")
+        print(f"LP iters  : {report.lp_iterations}")
+        if args.checkpoint and result.tree is not None:
+            incumbent = report.objective if report.x is not None else -np.inf
+            snap = capture_snapshot(result.tree, incumbent, report.x)
+            save_snapshot(snap, args.checkpoint)
+            print(f"checkpoint: {args.checkpoint} ({snap.num_leaves} open leaves)")
+
+    if args.trace and report.tracer is not None:
+        _export_trace(report.tracer, args.trace)
+    return 0 if report.ok else 1
 
 
 def cmd_generate(args) -> int:
@@ -219,17 +265,45 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """``repro trace``: validate + summarize a Chrome trace JSON file."""
+    try:
+        trace = obs.load_trace(args.file)
+    except ValueError as exc:
+        print(f"invalid: not JSON ({exc})", file=sys.stderr)
+        return 1
+    problems = obs.validate_chrome_trace(trace)
+    if problems:
+        for problem in problems[:20]:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    events = trace.get("traceEvents", [])
+    meta = trace.get("otherData", {})
+    spans = [ev for ev in events if ev.get("ph") == "X"]
+    print(f"file      : {args.file}")
+    if meta.get("trace_id"):
+        print(f"trace id  : {meta['trace_id']}")
+    print(f"events    : {len(events)} ({len(spans)} spans)")
+    rows = obs.summarize_trace_file(trace)
+    print()
+    print(render_trace(rows[: args.limit], title="time by span (descending)"))
+    if len(rows) > args.limit:
+        print(f"... {len(rows) - args.limit} more rows (raise --limit)")
+    return 0
+
+
 def cmd_certify(args) -> int:
     """``repro certify``: solve, then independently audit the answer."""
+    from repro.api import SolveOptions, solve
     from repro.check import certify_mip_result, differential_mip
     from repro.reporting import render_certificate, render_differential
 
     problem = read_mps(args.model)
     options = SolverOptions(node_limit=args.node_limit)
-    if args.strategy:
-        result = run_strategy(problem, args.strategy, options).result
-    else:
-        result = BranchAndBoundSolver(problem, options).solve()
+    result = solve(
+        problem,
+        SolveOptions(strategy=args.strategy or "direct", solver=options),
+    ).result
     print(f"status    : {result.status.value}")
     if result.x is not None:
         print(f"objective : {result.objective:.6g}")
@@ -304,9 +378,16 @@ def cmd_serve_bench(args) -> int:
 
     rows = []
     last = None
-    for batch_size in batch_sizes:
+    tracer = None
+    for i, batch_size in enumerate(batch_sizes):
         policy = BatchingPolicy(max_batch_size=batch_size, max_wait=args.max_wait)
-        summary = run_load(stream, policy=policy, num_workers=args.workers)
+        if args.trace and i == len(batch_sizes) - 1:
+            # Trace only the last configuration, so the exported timeline
+            # is one clean run instead of every sweep point overlaid.
+            with obs.tracing() as tracer:
+                summary = run_load(stream, policy=policy, num_workers=args.workers)
+        else:
+            summary = run_load(stream, policy=policy, num_workers=args.workers)
         last = summary
         rows.append(
             (
@@ -316,7 +397,9 @@ def cmd_serve_bench(args) -> int:
                 f"{summary['dedup_rate']:.0%}",
                 format_seconds(summary["mean_queue_wait"]),
                 format_seconds(summary["mean_device"]),
-                format_seconds(summary["mean_latency"]),
+                format_seconds(summary["p50_latency"]),
+                format_seconds(summary["p95_latency"]),
+                format_seconds(summary["p99_latency"]),
                 format_seconds(summary["makespan"]),
             )
         )
@@ -329,7 +412,9 @@ def cmd_serve_bench(args) -> int:
                 "dedup",
                 "queue wait",
                 "device",
-                "latency",
+                "p50",
+                "p95",
+                "p99",
                 "makespan",
             ],
             rows,
@@ -353,6 +438,16 @@ def cmd_serve_bench(args) -> int:
                 last["service"].metrics, prefix="time.serve."
             )
         )
+        print()
+        print(
+            render_percentiles(
+                last["service"].metrics,
+                ["serve.latency", "serve.queue_wait", "serve.device_time"],
+                title="latency percentiles (observed histograms)",
+            )
+        )
+    if args.trace and tracer is not None:
+        _export_trace(tracer, args.trace)
     return 0
 
 
@@ -364,6 +459,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": cmd_generate,
         "info": cmd_info,
         "list": cmd_list,
+        "trace": cmd_trace,
         "certify": cmd_certify,
         "fuzz": cmd_fuzz,
         "replay": cmd_replay,

@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from repro import obs
 from repro.comm.network import SUMMIT_FAT_TREE, NetworkSpec, payload_bytes
 from repro.errors import CommError, DeadlockError, RankError
 from repro.metrics import Metrics
@@ -222,8 +223,15 @@ class SimMPI:
         elif isinstance(request, Compute):
             if request.seconds < 0:
                 raise CommError(f"negative compute time {request.seconds}")
+            start = state.clock
             state.clock += request.seconds
             self.metrics.add_time("time.compute", request.seconds)
+            tracer = obs.active()
+            if tracer is not None:
+                tracer.sim_span(
+                    "compute", start, request.seconds,
+                    f"rank{rank}", category="comm",
+                )
         elif isinstance(request, (Barrier, Bcast, Allreduce, Gather, Reduce, Scatter)):
             state.at_collective = (type(request).__name__, request)
             self._maybe_complete_collective()
@@ -236,6 +244,7 @@ class SimMPI:
         nbytes = payload_bytes(request.payload)
         cost = self.network.message_time(nbytes)
         # Eager protocol: sender pays injection, message lands after flight.
+        inject_start = state.clock
         state.clock += self.network.latency
         arrival = state.clock + cost
         self._ranks[request.dest].mailbox.append(
@@ -243,6 +252,13 @@ class SimMPI:
         )
         self.metrics.inc("comm.messages")
         self.metrics.inc("comm.bytes", nbytes)
+        tracer = obs.active()
+        if tracer is not None:
+            tracer.sim_span(
+                f"send->{request.dest}", inject_start, arrival - inject_start,
+                f"rank{rank}", category="comm",
+                dest=request.dest, tag=request.tag, nbytes=nbytes,
+            )
         state.resume_value = None
 
     def _find_match(
@@ -373,6 +389,12 @@ class SimMPI:
             raise CommError(f"unknown collective {kind}")
 
         self.metrics.inc(f"comm.collective.{kind.lower()}")
+        tracer = obs.active()
+        if tracer is not None:
+            tracer.sim_span(
+                kind.lower(), start, finish - start,
+                "collective", category="comm", ranks=len(waiting),
+            )
         for state, result in zip(waiting, results):
             state.clock = finish
             state.at_collective = None

@@ -22,6 +22,7 @@ memory), which lets one solver code path serve both paper strategies.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -39,6 +40,10 @@ from repro.la.sparse import CSCMatrix, CSRMatrix
 from repro.la.sparse_lu import SparseLU, sparse_lu_factor
 from repro.la.updates import ProductFormInverse
 from repro.metrics import Metrics
+from repro import obs
+
+#: Distinguishes concurrently live devices on the shared obs timeline.
+_DEVICE_SEQ = itertools.count()
 
 Payload = Union[np.ndarray, CSRMatrix, CSCMatrix, LUFactors, SparseLU, ProductFormInverse, Tuple]
 
@@ -116,6 +121,9 @@ class Device:
         self.metrics = metrics if metrics is not None else Metrics()
         self.memory = MemoryPool(spec.mem_capacity)
         self.transfers = TransferEngine(link, self.clock, self.metrics)
+        #: Row name on the unified obs timeline (override for stable labels).
+        self.obs_track = f"{spec.name}#{next(_DEVICE_SEQ)}"
+        self.transfers.track_of = lambda: self.obs_track
         self._streams: List[Stream] = []
         self._epoch_start = self.clock.now
         self._epoch_work = 0.0
@@ -169,6 +177,7 @@ class Device:
         self.metrics.add_time("time.kernel", duration)
         if stream is None:
             # Synchronous launch: the host waits for completion.
+            start = self.clock.now
             self.clock.advance(duration)
         else:
             if stream.device is not self:
@@ -176,6 +185,11 @@ class Device:
             start = max(stream.ready, self.clock.now)
             stream.ready = start + duration
             self._epoch_work += duration
+        tracer = obs.active()
+        if tracer is not None:
+            tracer.sim_span(
+                cost.name, start, duration, self.obs_track, category="kernel"
+            )
         return duration
 
     def synchronize(self) -> float:

@@ -5,6 +5,13 @@ kernel launch and transfer is recorded with its simulated start time and
 duration — the nvprof-style timeline a performance engineer would read.
 ``utilization_report`` aggregates busy time per kernel class, which the
 ablation benches use to attribute where a strategy's time went.
+
+This device-local tracer predates :mod:`repro.obs` and is kept for the
+benches that want one device's events in isolation.  When an obs tracer
+is active (``repro.obs.tracing()``), every device already emits the
+same kernel/transfer events onto the unified timeline natively — no
+wrapping needed; :meth:`Tracer.export_to` bridges the other direction,
+replaying an existing device-local capture into an obs tracer.
 """
 
 from __future__ import annotations
@@ -80,6 +87,23 @@ class Tracer:
         return seconds
 
     # -- analysis -----------------------------------------------------------------
+
+    def export_to(self, tracer) -> int:
+        """Replay the captured events into a :class:`repro.obs.Tracer`.
+
+        Kernel events land with category ``"kernel"``, transfers with
+        ``"transfer"``, all on this device's obs track.  Returns the
+        number of spans exported.
+        """
+        track = self.device.obs_track
+        for event in self.events:
+            category = "kernel" if event.kind == "kernel" else "transfer"
+            attrs = {"nbytes": event.nbytes} if event.nbytes else {}
+            tracer.sim_span(
+                event.name, event.start, event.duration, track,
+                category=category, **attrs,
+            )
+        return len(self.events)
 
     def utilization_report(self) -> Dict[str, float]:
         """Busy simulated seconds per operation name."""

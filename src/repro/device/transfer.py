@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.device.clock import SimClock
 from repro.device.spec import LinkSpec
 from repro.metrics import Metrics
+from repro import obs
 
 
 class TransferEngine:
@@ -21,24 +22,35 @@ class TransferEngine:
         self.link = link
         self.clock = clock
         self.metrics = metrics
+        #: Obs timeline row for this link's crossings (set by the device).
+        self.track_of = lambda: "link"
+
+    def _move(self, direction: str, nbytes: int) -> float:
+        seconds = self.link.transfer_time(int(nbytes))
+        start = self.clock.now
+        self.clock.advance(seconds)
+        self.metrics.inc(f"transfers.{direction}")
+        self.metrics.inc(f"transfers.{direction}_bytes", int(nbytes))
+        self.metrics.add_time(f"time.{direction}", seconds)
+        tracer = obs.active()
+        if tracer is not None:
+            tracer.sim_span(
+                direction,
+                start,
+                seconds,
+                self.track_of(),
+                category="transfer",
+                nbytes=int(nbytes),
+            )
+        return seconds
 
     def host_to_device(self, nbytes: int) -> float:
         """Move ``nbytes`` host→device; returns the simulated seconds."""
-        seconds = self.link.transfer_time(int(nbytes))
-        self.clock.advance(seconds)
-        self.metrics.inc("transfers.h2d")
-        self.metrics.inc("transfers.h2d_bytes", int(nbytes))
-        self.metrics.add_time("time.h2d", seconds)
-        return seconds
+        return self._move("h2d", nbytes)
 
     def device_to_host(self, nbytes: int) -> float:
         """Move ``nbytes`` device→host; returns the simulated seconds."""
-        seconds = self.link.transfer_time(int(nbytes))
-        self.clock.advance(seconds)
-        self.metrics.inc("transfers.d2h")
-        self.metrics.inc("transfers.d2h_bytes", int(nbytes))
-        self.metrics.add_time("time.d2h", seconds)
-        return seconds
+        return self._move("d2h", nbytes)
 
     @property
     def total_transfers(self) -> int:

@@ -25,6 +25,7 @@ from repro.la.updates import ProductFormInverse
 from repro.lp.problem import StandardFormLP
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.simplex import NULL_HOOK, CostHook, SimplexOptions
+from repro import obs
 
 
 def dual_simplex_resolve(
@@ -39,6 +40,20 @@ def dual_simplex_resolve(
     (the typical source: the parent LP's optimal basis extended with the
     slacks of any newly appended rows).
     """
+    with obs.span(
+        "lp.dual_resolve", category="lp", m=sf.a.shape[0], n=sf.a.shape[1]
+    ) as sp:
+        result = _dual_simplex_resolve(sf, basis, options, hook)
+        sp.set(status=result.status.value, iterations=result.iterations)
+        return result
+
+
+def _dual_simplex_resolve(
+    sf: StandardFormLP,
+    basis: np.ndarray,
+    options: Optional[SimplexOptions],
+    hook: CostHook,
+) -> LPResult:
     options = options or SimplexOptions()
     tol = options.config.tolerances
     m, n = sf.a.shape

@@ -42,6 +42,15 @@ class PresolveResult:
 
 def presolve(lp: LinearProgram, max_passes: int = 10) -> PresolveResult:
     """Apply fixpoint presolve reductions to ``lp``."""
+    from repro import obs
+
+    with obs.span("lp.presolve", category="lp", n=lp.n) as sp:
+        result = _presolve(lp, max_passes)
+        sp.set(status=result.status.value)
+        return result
+
+
+def _presolve(lp: LinearProgram, max_passes: int) -> PresolveResult:
     n = lp.n
     lb = lp.lb.copy()
     ub = lp.ub.copy()

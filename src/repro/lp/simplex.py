@@ -29,6 +29,7 @@ import numpy as np
 from repro.config import DEFAULT_CONFIG, Config
 from repro.errors import SingularMatrixError
 from repro.la.updates import ProductFormInverse
+from repro import obs
 from repro.lp.pricing import BlandPricing, PricingRule, make_pricing
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
@@ -93,6 +94,10 @@ class _Workspace:
         basis_matrix = self.a[:, self.basis]
         self.pfi.refactorize(basis_matrix)
         self.hook.on_factorize(self.a.shape[0])
+        obs.event(
+            "lp.refactorize", category="lp",
+            m=self.a.shape[0], iteration=self.iterations,
+        )
         self.x_basic = self.ftran(self.b)
         self.updates_since_refactor = 0
 
@@ -122,6 +127,17 @@ def solve_standard_form(
     hook: CostHook = NULL_HOOK,
 ) -> LPResult:
     """Solve ``max cᵀx + offset, Ax = b, x ≥ 0`` from scratch (two-phase)."""
+    with obs.span("lp.solve", category="lp", m=sf.a.shape[0], n=sf.a.shape[1]) as sp:
+        result = _solve_standard_form(sf, options, hook)
+        sp.set(status=result.status.value, iterations=result.iterations)
+        return result
+
+
+def _solve_standard_form(
+    sf: StandardFormLP,
+    options: Optional[SimplexOptions],
+    hook: CostHook,
+) -> LPResult:
     options = options or SimplexOptions()
     tol = options.config.tolerances
     m, n = sf.a.shape

@@ -39,6 +39,7 @@ from repro.mip.node_selection import make_selector
 from repro.mip.problem import MIPProblem
 from repro.mip.result import MIPResult, MIPStats, MIPStatus
 from repro.mip.tree import BBTree, BoundChange, NodeTag
+from repro import obs
 
 
 class ExecutionEngine:
@@ -159,6 +160,15 @@ class BranchAndBoundSolver:
 
     def solve(self) -> MIPResult:
         """Run the search to optimality, infeasibility, or the node limit."""
+        with obs.span(
+            "mip.solve", category="mip",
+            n=self.problem.n, integers=self.problem.num_integer,
+        ) as sp:
+            result = self._solve()
+            sp.set(status=result.status.value, nodes=result.stats.nodes_processed)
+            return result
+
+    def _solve(self) -> MIPResult:
         problem = self.problem
         options = self.options
 
@@ -197,15 +207,18 @@ class BranchAndBoundSolver:
         selector.push(0, np.inf)
 
         status = None
-        while selector and self.stats.nodes_processed < options.node_limit:
-            node_id = selector.pop()
+
+        def process_node(node_id: int, node_span) -> Optional[str]:
+            """One node's lifecycle; returns "break" to stop the search."""
+            nonlocal incumbent_obj, incumbent_x, last_node, status
             node = tree.node(node_id)
+            node_span.set(depth=node.depth)
 
             # Prune on the inherited (parent) bound without touching the LP.
             if self._dominated(node.inherited_bound, incumbent_obj):
                 node.tag = NodeTag.PRUNED
                 node.lp_bound = node.inherited_bound
-                continue
+                return None
 
             distance = None if last_node is None else tree.tree_distance(last_node, node_id)
             self.engine.begin_node(node_id, distance, matrix_bytes)
@@ -231,11 +244,11 @@ class BranchAndBoundSolver:
 
             if res.status is LPStatus.INFEASIBLE:
                 node.tag = NodeTag.INFEASIBLE
-                continue
+                return None
             if res.status is LPStatus.UNBOUNDED:
                 if node_id == 0:
                     status = MIPStatus.UNBOUNDED
-                    break
+                    return "break"
                 raise MIPError("non-root node relaxation unbounded")
             if res.status is LPStatus.ITERATION_LIMIT:
                 raise MIPError(
@@ -245,11 +258,12 @@ class BranchAndBoundSolver:
 
             node.lp_bound = res.objective
             node.warm_basis = res.basis
+            node_span.set(bound=res.objective)
             self._record_pseudocost(branching, tree, node, res.objective)
 
             if self._dominated(res.objective, incumbent_obj):
                 node.tag = NodeTag.PRUNED
-                continue
+                return None
 
             x = sf.recover_x(res.x_standard)
             fractional = problem.fractional_integers(x)
@@ -268,7 +282,7 @@ class BranchAndBoundSolver:
                     fractional = problem.fractional_integers(x)
                     if self._dominated(node.lp_bound, incumbent_obj):
                         node.tag = NodeTag.PRUNED
-                        continue
+                        return None
 
             if fractional.size == 0:
                 node.tag = NodeTag.FEASIBLE
@@ -276,10 +290,11 @@ class BranchAndBoundSolver:
                 record_solution(obj, x)
                 if obj > incumbent_obj:
                     incumbent_obj, incumbent_x = obj, x
+                    obs.event("mip.incumbent", category="mip", objective=obj)
                     self.stats.incumbent_history.append(
                         (self.stats.nodes_processed, obj)
                     )
-                continue
+                return None
 
             # Primal heuristic: try rounding the fractional point.
             if options.use_rounding_heuristic:
@@ -290,6 +305,10 @@ class BranchAndBoundSolver:
                     if obj > incumbent_obj:
                         incumbent_obj, incumbent_x = obj, candidate
                         self.stats.heuristic_solutions += 1
+                        obs.event(
+                            "mip.incumbent", category="mip",
+                            objective=obj, heuristic=True,
+                        )
                         self.stats.incumbent_history.append(
                             (self.stats.nodes_processed, obj)
                         )
@@ -311,6 +330,15 @@ class BranchAndBoundSolver:
             for child in (down, up):
                 child.inherited_bound = node.lp_bound
                 selector.push(child.node_id, node.lp_bound)
+            return None
+
+        while selector and self.stats.nodes_processed < options.node_limit:
+            node_id = selector.pop()
+            with obs.span("mip.node", category="mip", node=node_id) as node_span:
+                flow = process_node(node_id, node_span)
+                node_span.set(tag=tree.node(node_id).tag.value)
+            if flow == "break":
+                break
 
         self.engine.end_search()
 
@@ -398,6 +426,12 @@ class BranchAndBoundSolver:
 
     def _run_cut_rounds(self, sf: StandardFormLP, res: LPResult, x: np.ndarray):
         """Generate and apply cut rounds; returns (sf_final, res_final)."""
+        with obs.span("mip.cuts", category="mip") as sp:
+            sf_out, res_out = self._cut_rounds_inner(sf, res, x)
+            sp.set(applied=res_out is not None)
+            return sf_out, res_out
+
+    def _cut_rounds_inner(self, sf: StandardFormLP, res: LPResult, x: np.ndarray):
         options = self.options
         sf_work, res_work, x_work = sf, res, x
         applied_any = False

@@ -93,6 +93,56 @@ def render_metrics(metrics, title: Optional[str] = None, prefix: Optional[str] =
     return render_table(["metric", "value"], rows, title=title)
 
 
+def render_trace(rows, title: Optional[str] = None) -> str:
+    """Table of :func:`repro.obs.summarize_spans`-shaped rows.
+
+    Each row is ``(timeline, name, count, total, mean, max)`` with the
+    durations in seconds; they render with engineering-style times.
+    """
+    table_rows = [
+        (
+            timeline,
+            name,
+            count,
+            format_seconds(total),
+            format_seconds(mean),
+            format_seconds(peak),
+        )
+        for timeline, name, count, total, mean, peak in rows
+    ]
+    return render_table(
+        ["timeline", "span", "count", "total", "mean", "max"],
+        table_rows,
+        title=title,
+    )
+
+
+def render_percentiles(metrics, names: Sequence[str], title: Optional[str] = None) -> str:
+    """Table of p50/p95/p99 latency summaries from observed histograms.
+
+    ``names`` selects histograms on a :class:`repro.metrics.Metrics` (or
+    :class:`repro.obs.MetricsRegistry`); missing/empty ones are skipped.
+    """
+    rows = []
+    for name in names:
+        hist = metrics.histogram(name) if hasattr(metrics, "histogram") else None
+        if hist is None or not hist.count:
+            continue
+        rows.append(
+            (
+                name,
+                hist.count,
+                format_seconds(hist.percentile(50.0)),
+                format_seconds(hist.percentile(95.0)),
+                format_seconds(hist.percentile(99.0)),
+                format_seconds(hist.mean),
+            )
+        )
+    return render_table(
+        ["histogram", "count", "p50", "p95", "p99", "mean"], rows, title=title
+    )
+
+
 def render_certificate(report) -> str:
     """Table of a :class:`repro.check.CertificateReport`'s exact checks."""
     rows = [

@@ -74,6 +74,8 @@ class SolveRequest:
     request_id: int = -1
     #: Canonical content hash; computed by the service at admission.
     fingerprint: str = ""
+    #: Trace id assigned at admission (``req-000042``-style).
+    trace_id: str = ""
 
     @property
     def kind(self) -> str:
@@ -116,6 +118,8 @@ class SolveResponse:
     batch_size: int = 0
     #: Worker (device-group rank) that executed the batch, -1 if none.
     worker: int = -1
+    #: Trace id inherited from the request (``req-000042``-style).
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -141,6 +145,26 @@ class SolveResponse:
     def latency(self) -> float:
         """End-to-end: arrival → completion."""
         return self.completion_time - self.arrival_time
+
+    def to_dict(self) -> dict:
+        """Report-shaped summary (see :func:`repro.api.solve`'s report)."""
+        return {
+            "status": self.solver_status or self.outcome.value,
+            "objective": None if np.isnan(self.objective) else float(self.objective),
+            "outcome": self.outcome.value,
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "batch_size": self.batch_size,
+            "worker": self.worker,
+            "timings": {
+                "queue_wait": self.queue_wait,
+                "assembly_wait": self.assembly_wait,
+                "device_time": self.device_time,
+                "latency": self.latency,
+            },
+        }
 
     def raise_for_outcome(self) -> None:
         """Raise the typed error matching a non-OK outcome (no-op if OK)."""

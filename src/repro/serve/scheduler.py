@@ -25,16 +25,14 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.device.group import DeviceGroup
 from repro.device.gpu import Device
-from repro.device import kernels as K
 from repro.device.spec import DeviceSpec, V100
 from repro.errors import SolverError
 from repro.lp.batch_simplex import solve_lp_batch_on_device
 from repro.lp.result import LPStatus
-from repro.lp.simplex import solve_standard_form
 from repro.metrics import Metrics
-from repro.mip.batch_solver import BatchedNodeSolver, BatchedSolverOptions
 from repro.mip.problem import MIPProblem
 from repro.mip.result import MIPStatus
 from repro.serve.request import Outcome, SolveRequest, SolveResponse
@@ -59,6 +57,8 @@ class WorkerPool:
         self.spec = spec
         #: Node-level batch size for MIP members (BatchedNodeSolver).
         self.mip_node_batch = mip_node_batch
+        for rank in range(self.group.size):
+            self.group.device(rank).obs_track = f"worker{rank}"
 
     @property
     def size(self) -> int:
@@ -88,6 +88,15 @@ class WorkerPool:
             self.metrics.inc("serve.dispatch.concurrent")
         completion = device.clock.now
 
+        tracer = obs.active()
+        if tracer is not None:
+            tracer.sim_span(
+                "serve.batch", start, completion - start,
+                device.obs_track, category="serve",
+                batch_size=len(batch), worker=rank,
+                path="lockstep" if lockstep else "concurrent",
+            )
+
         self.metrics.inc("serve.batches")
         self.metrics.inc("serve.batch_members", len(batch))
         self.metrics.inc(f"serve.worker{rank}.batches")
@@ -109,6 +118,7 @@ class WorkerPool:
                     completion_time=completion,
                     batch_size=len(batch),
                     worker=rank,
+                    trace_id=req.trace_id,
                 )
             )
         return responses
@@ -142,8 +152,17 @@ class WorkerPool:
         """Members as concurrent streams: work-and-span completion model."""
         out = []
         busy_times = []
+        tracer = obs.active()
+        base = device.clock.now
         for req in batch:
             scratch = Device(self.spec)
+            if tracer is not None:
+                # Align the scratch timeline with the batch start so the
+                # member's kernel spans land at their real positions, and
+                # attribute them to the executing worker's track.
+                scratch.clock.advance_to(base)
+                scratch.obs_track = device.obs_track
+            member_start = scratch.clock.now
             try:
                 if isinstance(req.problem, MIPProblem):
                     result = self._solve_mip(req.problem, scratch)
@@ -151,7 +170,7 @@ class WorkerPool:
                     result = self._solve_solo_lp(req.problem, scratch)
             except SolverError as exc:
                 result = (Outcome.FAILED, type(exc).__name__, float("nan"), None)
-            busy_times.append(scratch.clock.now)
+            busy_times.append(scratch.clock.now - member_start)
             device.metrics.merge(scratch.metrics)
             out.append(result)
         span = max(busy_times) if busy_times else 0.0
@@ -161,27 +180,22 @@ class WorkerPool:
         return out
 
     def _solve_mip(self, problem: MIPProblem, scratch: Device):
-        solver = BatchedNodeSolver(
+        from repro.api import SolveOptions, solve
+
+        report = solve(
             problem,
-            options=BatchedSolverOptions(batch_size=self.mip_node_batch),
-            device=scratch,
+            SolveOptions(device=scratch, mip_node_batch=self.mip_node_batch),
         )
-        result = solver.solve()
-        outcome = Outcome.OK if result.status in _TERMINAL_MIP else Outcome.FAILED
-        return (outcome, result.status.value, float(result.objective), result.x)
+        terminal = report.result is not None and report.result.status in _TERMINAL_MIP
+        outcome = Outcome.OK if terminal else Outcome.FAILED
+        return (outcome, report.status, report.objective, report.x)
 
     def _solve_solo_lp(self, problem, scratch: Device):
-        sf = problem.to_standard_form()
-        result = solve_standard_form(sf)
-        # One small-LP kernel stream (factor + per-iteration solves),
-        # the serial shape E7 measures.
-        scratch._charge(K.getrf_kernel(sf.m), None)
-        for _ in range(max(1, result.iterations)):
-            scratch._charge(K.trsv_kernel(sf.m), None)
-            scratch._charge(K.trsv_kernel(sf.m), None)
-            scratch._charge(K.gemv_kernel(sf.n, sf.m), None)
-        outcome = Outcome.OK if result.status in _TERMINAL_LP else Outcome.FAILED
-        x = None
-        if result.status is LPStatus.OPTIMAL and result.x_standard is not None:
-            x = sf.recover_x(result.x_standard)
-        return (outcome, result.status.value, float(result.objective), x)
+        from repro.api import SolveOptions, solve
+
+        report = solve(problem, SolveOptions(device=scratch))
+        terminal = (
+            report.lp_result is not None and report.lp_result.status in _TERMINAL_LP
+        )
+        outcome = Outcome.OK if terminal else Outcome.FAILED
+        return (outcome, report.status, report.objective, report.x)

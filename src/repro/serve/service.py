@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.device.spec import DeviceSpec, V100
 from repro.errors import ServiceClosed, ServiceError, ServiceSaturated
 from repro.metrics import Metrics
@@ -100,6 +101,7 @@ class SolveService:
             timeout=timeout,
             request_id=rid,
             fingerprint=fp,
+            trace_id=f"req-{rid:06d}",
         )
         self.metrics.inc("serve.requests")
 
@@ -284,6 +286,8 @@ class SolveService:
                 self._record(twin)
 
     def _record(self, response: SolveResponse) -> None:
+        if not response.trace_id:
+            response.trace_id = f"req-{response.request_id:06d}"
         self._responses[response.request_id] = response
         if response.outcome is Outcome.OK:
             self.metrics.inc("serve.completed")
@@ -292,3 +296,50 @@ class SolveService:
         self.metrics.add_time("time.serve.queue_wait", max(0.0, response.queue_wait))
         self.metrics.add_time("time.serve.assembly", max(0.0, response.assembly_wait))
         self.metrics.add_time("time.serve.latency", max(0.0, response.latency))
+        self.metrics.observe("serve.latency", max(0.0, response.latency))
+        self.metrics.observe("serve.queue_wait", max(0.0, response.queue_wait))
+        if response.ok and not response.cached:
+            self.metrics.observe("serve.device_time", max(0.0, response.device_time))
+        tracer = obs.active()
+        if tracer is not None:
+            self._trace_request(tracer, response)
+
+    def _trace_request(self, tracer, response: SolveResponse) -> None:
+        """Emit the per-request stage breakdown onto the unified timeline."""
+        track = response.trace_id
+        parent = tracer.sim_span(
+            "request",
+            response.arrival_time,
+            max(0.0, response.latency),
+            track,
+            category="serve",
+            outcome=response.outcome.value,
+            cached=response.cached,
+            coalesced=response.coalesced,
+            batch_size=response.batch_size,
+            worker=response.worker,
+            trace_id=response.trace_id,
+        )
+        pid = parent.span_id
+        if response.cached:
+            tracer.sim_span(
+                "cache", response.start_time,
+                max(0.0, response.completion_time - response.start_time),
+                track, category="serve", parent_id=pid,
+            )
+            return
+        tracer.sim_span(
+            "queue", response.arrival_time, max(0.0, response.queue_wait),
+            track, category="serve", parent_id=pid,
+        )
+        if response.outcome is Outcome.TIMEOUT:
+            return
+        tracer.sim_span(
+            "batch", response.dispatch_time, max(0.0, response.assembly_wait),
+            track, category="serve", parent_id=pid,
+        )
+        tracer.sim_span(
+            "solve", response.start_time, max(0.0, response.device_time),
+            track, category="serve", parent_id=pid,
+            worker=response.worker,
+        )

@@ -132,6 +132,9 @@ def run_load(
         "mean_assembly": mean([r.assembly_wait for r in completed]),
         "mean_device": mean([r.device_time for r in completed if not r.cached]),
         "mean_latency": mean([r.latency for r in completed]),
+        "p50_latency": service.metrics.percentile("serve.latency", 50.0),
+        "p95_latency": service.metrics.percentile("serve.latency", 95.0),
+        "p99_latency": service.metrics.percentile("serve.latency", 99.0),
         "dedup_rate": service.stats()["derived"]["dedup_rate"],
         "service": service,
     }

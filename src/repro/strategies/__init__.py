@@ -21,6 +21,7 @@ machinery; :mod:`repro.strategies.chooser` the §5.4 path chooser;
 search used for scaling experiments.
 """
 
+from repro.strategies import registry
 from repro.strategies.engine import DeviceCostHook, MeteredEngine, StrategyReport
 from repro.strategies.gpu_only import GpuOnlyEngine
 from repro.strategies.cpu_orchestrated import CpuOrchestratedEngine
@@ -31,6 +32,7 @@ from repro.strategies.distributed import DistributedSearchResult, solve_distribu
 from repro.strategies.runner import STRATEGIES, run_strategy
 
 __all__ = [
+    "registry",
     "DeviceCostHook",
     "MeteredEngine",
     "StrategyReport",

@@ -1,0 +1,113 @@
+"""Named strategy/engine registry behind :func:`repro.api.solve`.
+
+Every way this repo can execute a branch-and-cut search — the free
+host-side engine, the paper's four metered single-node strategies, and
+any engine an experiment registers at runtime — lives here under a
+string name.  :func:`repro.api.solve` resolves ``options.strategy``
+through this registry, so the CLI, the serving layer, and the
+benchmarks all construct engines the same way.
+
+Names registered by default:
+
+- ``"direct"`` — exact host-side :class:`~repro.mip.solver.ExecutionEngine`
+  with no simulated device costs;
+- ``"gpu_only"``, ``"cpu_orchestrated"``, ``"hybrid"``, ``"big_mip_4"``
+  — the paper's §5 strategies (metered devices).
+
+``register_strategy`` lets experiments add their own factories;
+re-registering an existing name requires ``overwrite=True`` so typos
+don't silently shadow a built-in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.lp.simplex import SimplexOptions
+from repro.mip.solver import ExecutionEngine
+
+#: An engine factory: simplex options -> fresh engine instance.
+EngineFactory = Callable[[Optional[SimplexOptions]], ExecutionEngine]
+
+_REGISTRY: Dict[str, EngineFactory] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register_strategy(
+    name: str,
+    factory: EngineFactory,
+    description: str = "",
+    overwrite: bool = False,
+) -> None:
+    """Register an engine factory under ``name``."""
+    if name in _REGISTRY and not overwrite:
+        raise ReproError(
+            f"strategy {name!r} is already registered; pass overwrite=True"
+        )
+    _REGISTRY[name] = factory
+    _DESCRIPTIONS[name] = description
+
+
+def strategy_factory(name: str) -> EngineFactory:
+    """The factory registered under ``name`` (raises on unknown names)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown strategy {name!r}; choose from {available_strategies()}"
+        ) from None
+
+
+def engine_for(
+    name: str, simplex_options: Optional[SimplexOptions] = None
+) -> ExecutionEngine:
+    """Construct a fresh engine for the named strategy."""
+    return strategy_factory(name)(simplex_options)
+
+
+def available_strategies() -> List[str]:
+    """Sorted registered strategy names."""
+    return sorted(_REGISTRY)
+
+
+def describe_strategies() -> Dict[str, str]:
+    """name -> one-line description for every registered strategy."""
+    return {name: _DESCRIPTIONS.get(name, "") for name in available_strategies()}
+
+
+def _register_builtins() -> None:
+    # Imported lazily so the registry module stays import-light.
+    from repro.strategies.big_mip import BigMipEngine
+    from repro.strategies.cpu_orchestrated import CpuOrchestratedEngine
+    from repro.strategies.gpu_only import GpuOnlyEngine
+    from repro.strategies.hybrid import HybridEngine
+
+    register_strategy(
+        "direct",
+        lambda opts: ExecutionEngine(simplex_options=opts),
+        "exact host-side engine, no simulated device costs",
+    )
+    register_strategy(
+        "gpu_only",
+        lambda opts: GpuOnlyEngine(simplex_options=opts),
+        "everything on one GPU (paper §5, strategy 1)",
+    )
+    register_strategy(
+        "cpu_orchestrated",
+        lambda opts: CpuOrchestratedEngine(simplex_options=opts),
+        "CPU drives the tree, GPU does LP linear algebra (strategy 2)",
+    )
+    register_strategy(
+        "hybrid",
+        lambda opts: HybridEngine(simplex_options=opts),
+        "small LPs stay on the CPU, large go to the GPU (strategy 3)",
+    )
+    register_strategy(
+        "big_mip_4",
+        lambda opts: BigMipEngine(num_devices=4, simplex_options=opts),
+        "one big MIP spread across 4 devices (strategy 4)",
+    )
+
+
+_register_builtins()

@@ -1,25 +1,29 @@
-"""One-call strategy runner used by examples and benchmarks."""
+"""One-call strategy runner (deprecated shim over :mod:`repro.api`).
+
+``run_strategy`` predates the unified :func:`repro.api.solve` entry
+point and is kept for the examples and benchmarks that still call it;
+new code should go through :func:`repro.api.solve` with
+``SolveOptions(strategy=...)``.  The :data:`STRATEGIES` dict is now a
+read-only view of :mod:`repro.strategies.registry` (minus the host-only
+``"direct"`` engine, which the old dict never contained).
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.errors import ReproError
 from repro.lp.simplex import SimplexOptions
 from repro.mip.problem import MIPProblem
-from repro.mip.solver import BranchAndBoundSolver, SolverOptions
-from repro.strategies.big_mip import BigMipEngine
-from repro.strategies.cpu_orchestrated import CpuOrchestratedEngine
+from repro.mip.solver import SolverOptions
+from repro.strategies import registry
 from repro.strategies.engine import MeteredEngine, StrategyReport
-from repro.strategies.gpu_only import GpuOnlyEngine
-from repro.strategies.hybrid import HybridEngine
 
-#: name -> engine factory(simplex_options) for the single-node strategies.
+#: name -> engine factory(simplex_options); a registry view kept for
+#: back-compat with pre-registry callers.
 STRATEGIES: Dict[str, Callable[[Optional[SimplexOptions]], MeteredEngine]] = {
-    "gpu_only": lambda opts: GpuOnlyEngine(simplex_options=opts),
-    "cpu_orchestrated": lambda opts: CpuOrchestratedEngine(simplex_options=opts),
-    "hybrid": lambda opts: HybridEngine(simplex_options=opts),
-    "big_mip_4": lambda opts: BigMipEngine(num_devices=4, simplex_options=opts),
+    name: registry.strategy_factory(name)
+    for name in registry.available_strategies()
+    if name != "direct"
 }
 
 
@@ -29,17 +33,22 @@ def run_strategy(
     solver_options: Optional[SolverOptions] = None,
     engine: Optional[MeteredEngine] = None,
 ) -> StrategyReport:
-    """Run one strategy on one problem; returns the metered report."""
-    if engine is None:
-        try:
-            factory = STRATEGIES[strategy]
-        except KeyError:
-            raise ReproError(
-                f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
-            ) from None
-        options = solver_options or SolverOptions()
-        engine = factory(options.simplex)
-    options = solver_options or SolverOptions()
-    solver = BranchAndBoundSolver(problem, options, engine=engine)
-    result = solver.solve()
-    return engine.report(result, strategy=strategy)
+    """Run one strategy on one problem; returns the metered report.
+
+    Deprecated: route new code through :func:`repro.api.solve`.
+    """
+    from repro.api import SolveOptions, solve
+
+    report = solve(
+        problem,
+        SolveOptions(
+            strategy=strategy,
+            solver=solver_options or SolverOptions(),
+            engine=engine,
+        ),
+    )
+    if report.strategy_report is None:
+        raise TypeError(
+            f"engine {type(engine).__name__} does not produce a StrategyReport"
+        )
+    return report.strategy_report

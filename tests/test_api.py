@@ -1,0 +1,177 @@
+"""repro.api.solve — the unified front door — and the strategy registry."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.api import SolveOptions, SolveReport, solve
+from repro.errors import ReproError
+from repro.lp.problem import LinearProgram
+from repro.mip.solver import BranchAndBoundSolver, ExecutionEngine, SolverOptions
+from repro.problems.knapsack import generate_knapsack
+from repro.strategies import registry
+from repro.strategies.runner import STRATEGIES, run_strategy
+
+
+def small_lp():
+    # maximize x1 + 2 x2 s.t. x1+x2 ≤ 4, x1+3x2 ≤ 6, x ≥ 0 → x=(3,1), obj 5.
+    return LinearProgram(
+        c=[1.0, 2.0],
+        a_ub=[[1.0, 1.0], [1.0, 3.0]],
+        b_ub=[4.0, 6.0],
+    )
+
+
+class TestSolveMip:
+    def test_direct_matches_raw_solver(self):
+        problem = generate_knapsack(10, seed=5)
+        report = solve(problem)
+        raw = BranchAndBoundSolver(problem, SolverOptions()).solve()
+        assert report.ok and report.status == "optimal"
+        assert report.objective == pytest.approx(raw.objective)
+        assert report.strategy == "direct"
+        assert report.makespan_seconds == 0.0
+        assert report.result is not None
+        assert report.x is not None
+
+    def test_strategy_produces_metered_report(self):
+        problem = generate_knapsack(8, seed=3)
+        report = solve(problem, SolveOptions(strategy="hybrid"))
+        direct = solve(problem)
+        assert report.objective == pytest.approx(direct.objective)
+        assert report.strategy == "hybrid"
+        assert report.makespan_seconds > 0.0
+        assert report.strategy_report is not None
+        assert report.metrics["counters"]  # device kernel counts
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ReproError, match="unknown strategy"):
+            solve(generate_knapsack(6), SolveOptions(strategy="nope"))
+
+    def test_explicit_engine_overrides_strategy(self):
+        problem = generate_knapsack(8, seed=3)
+        report = solve(problem, SolveOptions(strategy="ignored", engine=ExecutionEngine()))
+        assert report.ok  # strategy name never resolved through the registry
+
+
+class TestSolveLp:
+    def test_lp_path(self):
+        report = solve(small_lp())
+        assert report.ok
+        assert report.strategy == "lp"
+        assert report.objective == pytest.approx(5.0)
+        assert report.lp_result is not None
+        assert report.lp_iterations > 0
+        assert np.allclose(report.x, [3.0, 1.0])
+
+    def test_lp_on_device_charges_kernels(self):
+        from repro.device.gpu import Device
+        from repro.device.spec import V100
+
+        device = Device(V100)
+        report = solve(small_lp(), SolveOptions(device=device))
+        assert report.ok
+        assert report.makespan_seconds == device.clock.now > 0.0
+        assert report.metrics["counters"]["kernels.getrf"] == 1
+
+
+class TestReportShape:
+    def test_to_dict_shared_shape(self):
+        report = solve(generate_knapsack(8, seed=3), SolveOptions(strategy="hybrid"))
+        d = report.to_dict()
+        assert set(d) == {
+            "status",
+            "objective",
+            "strategy",
+            "trace_id",
+            "bounds",
+            "nodes",
+            "lp_iterations",
+            "makespan_seconds",
+            "metrics",
+        }
+        assert set(d["bounds"]) == {"best_bound", "gap"}
+        # StrategyReport exports the same shape.
+        sd = report.strategy_report.to_dict()
+        assert set(sd) == set(d)
+        assert sd["status"] == d["status"]
+        assert sd["objective"] == pytest.approx(d["objective"])
+
+    def test_non_finite_values_export_as_none(self):
+        report = SolveReport(status="infeasible", objective=float("nan"), x=None, strategy="direct")
+        d = report.to_dict()
+        assert d["objective"] is None
+        assert d["bounds"]["best_bound"] is None
+        assert d["bounds"]["gap"] is None
+
+
+class TestTracing:
+    def test_trace_option_attaches_tracer(self):
+        report = solve(generate_knapsack(8, seed=2), SolveOptions(trace=True))
+        assert report.tracer is not None
+        assert report.trace_id == report.tracer.trace_id
+        assert report.tracer.find("mip.solve")
+        assert obs.active() is None  # scope ended with the call
+
+    def test_ambient_tracer_is_reused(self):
+        with obs.tracing() as tracer:
+            report = solve(generate_knapsack(8, seed=2))
+        assert report.trace_id == tracer.trace_id
+        assert report.tracer is None  # caller owns the ambient tracer
+
+    def test_untraced_report_has_no_trace_id(self):
+        report = solve(generate_knapsack(8, seed=2))
+        assert report.trace_id == ""
+        assert report.tracer is None
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registry.available_strategies()
+        assert {"direct", "gpu_only", "cpu_orchestrated", "hybrid", "big_mip_4"} <= set(
+            names
+        )
+        assert names == sorted(names)
+        descriptions = registry.describe_strategies()
+        assert all(descriptions[n] for n in names)
+
+    def test_duplicate_registration_guard(self):
+        with pytest.raises(ReproError, match="already registered"):
+            registry.register_strategy("direct", lambda opts: ExecutionEngine())
+
+    def test_runtime_registration(self):
+        try:
+            registry.register_strategy(
+                "test_custom",
+                lambda opts: ExecutionEngine(simplex_options=opts),
+                "test-only engine",
+            )
+            report = solve(
+                generate_knapsack(8, seed=4), SolveOptions(strategy="test_custom")
+            )
+            assert report.ok and report.strategy == "test_custom"
+        finally:
+            registry._REGISTRY.pop("test_custom", None)
+            registry._DESCRIPTIONS.pop("test_custom", None)
+
+    def test_engine_for_builds_fresh_instances(self):
+        a = registry.engine_for("hybrid")
+        b = registry.engine_for("hybrid")
+        assert a is not b
+
+
+class TestRunnerShim:
+    def test_strategies_view_excludes_direct(self):
+        assert "direct" not in STRATEGIES
+        assert {"gpu_only", "cpu_orchestrated", "hybrid", "big_mip_4"} <= set(STRATEGIES)
+
+    def test_run_strategy_matches_api(self):
+        problem = generate_knapsack(8, seed=3)
+        shim = run_strategy(problem, "gpu_only")
+        direct = solve(problem, SolveOptions(strategy="gpu_only"))
+        assert shim.result.objective == pytest.approx(direct.objective)
+        assert shim.makespan_seconds == pytest.approx(direct.makespan_seconds)
+
+    def test_run_strategy_rejects_reportless_engine(self):
+        with pytest.raises(TypeError):
+            run_strategy(generate_knapsack(6), "direct", engine=ExecutionEngine())

@@ -132,6 +132,33 @@ class TestReporting:
         text = render_series("x", [1, 2], [("y", [3.0, 9.0])])
         assert "y" in text and "█" in text
 
+    def test_render_trace_rows(self):
+        from repro.reporting import render_trace
+
+        rows = [
+            ("sim", "gemv", 12, 3e-3, 2.5e-4, 5e-4),
+            ("host", "mip.solve", 1, 1.5, 1.5, 1.5),
+        ]
+        text = render_trace(rows, title="where the time went")
+        assert "where the time went" in text
+        assert "timeline" in text and "span" in text
+        assert "gemv" in text and "3 ms" in text
+        assert "mip.solve" in text and "1.5 s" in text
+
+    def test_render_percentiles_reads_histograms(self):
+        from repro.reporting import render_percentiles
+
+        m = Metrics()
+        for v in (1e-3, 2e-3, 3e-3, 4e-3):
+            m.observe("serve.latency", v)
+        text = render_percentiles(
+            m, ["serve.latency", "serve.missing"], title="latency"
+        )
+        assert "latency" in text
+        assert "serve.latency" in text
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "serve.missing" not in text  # missing histograms are skipped
+
 
 class TestConfig:
     def test_integrality_check(self):
