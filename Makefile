@@ -1,4 +1,4 @@
-.PHONY: install test bench serve-bench fuzz examples clean
+.PHONY: install test bench serve-bench fuzz chaos examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,9 @@ serve-bench:
 
 fuzz:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro fuzz --budget 50 --seed 0
+
+chaos:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro chaos --seed 0 --trace chaos-trace.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

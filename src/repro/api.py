@@ -23,7 +23,7 @@ incumbent, bounds, per-device metrics, and the trace id — with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Union
 
 import numpy as np
@@ -31,6 +31,9 @@ import numpy as np
 from repro import obs
 from repro.device.gpu import Device
 from repro.device import kernels as K
+from repro.errors import FaultError
+from repro.faults import injector as faults
+from repro.faults.plan import SITE_NODE, FaultPlan
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.simplex import solve_standard_form
@@ -65,6 +68,10 @@ class SolveOptions:
     #: Install a fresh tracer for this call when none is active; the
     #: tracer is attached to the report for export.
     trace: bool = False
+    #: Seeded fault-injection plan for this call (see :mod:`repro.faults`).
+    #: Installs a fresh injector when none is active; the final fault
+    #: accounting lands in ``SolveReport.metrics["faults"]``.
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -123,6 +130,9 @@ def solve(problem: Problem, options: Optional[SolveOptions] = None) -> SolveRepo
     on unknown strategy names.
     """
     options = options or SolveOptions()
+    if options.fault_plan is not None and faults.active() is None:
+        with faults.injecting(options.fault_plan):
+            return solve(problem, replace(options, fault_plan=None))
     if options.trace and obs.active() is None:
         with obs.tracing() as tracer:
             report = _solve(problem, options)
@@ -136,6 +146,14 @@ def solve(problem: Problem, options: Optional[SolveOptions] = None) -> SolveRepo
     return report
 
 
+def _fault_metrics(metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Attach the active injector's accounting under ``metrics['faults']``."""
+    injector = faults.active()
+    if injector is not None and injector.counts()["injected"]:
+        metrics["faults"] = injector.counts()
+    return metrics
+
+
 def _solve(problem: Problem, options: SolveOptions) -> SolveReport:
     if isinstance(problem, MIPProblem):
         if options.mip_node_batch > 0 and options.device is not None:
@@ -145,12 +163,69 @@ def _solve(problem: Problem, options: SolveOptions) -> SolveReport:
 
 
 def _solve_mip(problem: MIPProblem, options: SolveOptions) -> SolveReport:
-    engine = options.engine
+    """MIP path: degradation loop around one engine run per strategy.
+
+    An unrecoverable :class:`FaultError` from a metered engine degrades
+    to the strategy's registered fallback (``plan.degrade`` permitting)
+    and the faults it absorbed are resolved as *tolerated*; the chain
+    ends at ``"direct"``, which touches no simulated device.
+    """
+    injector = faults.active()
     strategy = options.strategy
+    chain = [strategy]
+    while True:
+        try:
+            report = _run_mip_engine(problem, options, strategy)
+        except FaultError as exc:
+            fallback = (
+                registry.fallback_for(strategy)
+                if options.engine is None
+                and injector is not None
+                and injector.plan.degrade
+                else None
+            )
+            if fallback is None:
+                if injector is not None:
+                    injector.resolve_escaped(exc.fault_count, site="strategy")
+                raise
+            injector.resolve_tolerated(exc.fault_count, site="strategy")
+            injector.metrics.inc("fault.degraded")
+            obs.event(
+                "fault.degrade", category="fault",
+                from_strategy=strategy, to_strategy=fallback,
+                error=type(exc).__name__,
+            )
+            strategy = fallback
+            chain.append(fallback)
+            continue
+        if len(chain) > 1:
+            report.metrics["degradation"] = {
+                "requested": chain[0],
+                "used": strategy,
+                "chain": list(chain),
+            }
+            _fault_metrics(report.metrics)
+        return report
+
+
+def _run_mip_engine(
+    problem: MIPProblem, options: SolveOptions, strategy: str
+) -> SolveReport:
+    engine = options.engine
     if engine is None:
         engine = registry.engine_for(strategy, options.solver.simplex)
-    solver = BranchAndBoundSolver(problem, options.solver, engine=engine)
-    result = solver.solve()
+
+    injector = faults.active()
+    resume_stats = None
+    if injector is not None and injector.plan.touches(SITE_NODE):
+        from repro.faults.recovery import solve_with_checkpoint_resume
+
+        result, resume_stats = solve_with_checkpoint_resume(
+            problem, solver_options=options.solver, engine=engine
+        )
+    else:
+        solver = BranchAndBoundSolver(problem, options.solver, engine=engine)
+        result = solver.solve()
 
     strategy_report = None
     if hasattr(engine, "report"):
@@ -159,6 +234,12 @@ def _solve_mip(problem: MIPProblem, options: SolveOptions) -> SolveReport:
     device = getattr(engine, "device", None)
     if device is not None:
         metrics = device.metrics.to_dict()
+    _fault_metrics(metrics)
+    if resume_stats is not None and resume_stats.restarts:
+        metrics["resume"] = {
+            "restarts": resume_stats.restarts,
+            "checkpoints": resume_stats.checkpoints,
+        }
 
     report = SolveReport(
         status=result.status.value,
@@ -203,7 +284,7 @@ def _solve_mip_batched(problem: MIPProblem, options: SolveOptions) -> SolveRepor
         nodes=result.stats.nodes_processed,
         lp_iterations=result.stats.lp_iterations,
         makespan_seconds=device.clock.now,
-        metrics=device.metrics.to_dict(),
+        metrics=_fault_metrics(device.metrics.to_dict()),
         result=result,
     )
 
@@ -231,6 +312,6 @@ def _solve_lp(problem: LinearProgram, options: SolveOptions) -> SolveReport:
         strategy="lp",
         lp_iterations=result.iterations,
         makespan_seconds=0.0 if device is None else device.clock.now,
-        metrics={} if device is None else device.metrics.to_dict(),
+        metrics=_fault_metrics({} if device is None else device.metrics.to_dict()),
         lp_result=result,
     )

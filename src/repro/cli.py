@@ -129,6 +129,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("repro", help="path to a repro JSON file")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay seeded fault plans against solve/serve/distributed "
+        "and audit every recovery (see docs/fault_tolerance.md)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--plan", action="append", default=[], metavar="PLAN.json",
+        help="replay a saved fault plan (repeatable); replaces the "
+        "builtin corpus unless --builtin is also given",
+    )
+    chaos.add_argument(
+        "--builtin", action="store_true",
+        help="with --plan: run the builtin corpus as well",
+    )
+    chaos.add_argument(
+        "--save-plans", default=None, metavar="DIR",
+        help="write the corpus plans as JSON into DIR and exit",
+    )
+    chaos.add_argument(
+        "--items", type=int, default=8, help="knapsack items per chaos problem"
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=8, help="requests in the serve scenario"
+    )
+    chaos.add_argument(
+        "--no-serve", action="store_true", help="skip the serve scenarios"
+    )
+    chaos.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="export the chaos run's timeline as Chrome trace JSON",
+    )
+
     serve = sub.add_parser(
         "serve-bench",
         help="sweep the batching solve service over batching policies (§5.5)",
@@ -359,6 +392,57 @@ def cmd_replay(args) -> int:
     return 1
 
 
+def cmd_chaos(args) -> int:
+    """``repro chaos``: replay fault plans and audit every recovery."""
+    import os
+
+    from repro.faults.chaos import builtin_corpus, run_chaos
+    from repro.faults.plan import FaultPlan
+    from repro.reporting import render_chaos
+
+    corpus = builtin_corpus(args.seed)
+    if args.save_plans:
+        os.makedirs(args.save_plans, exist_ok=True)
+        for plan in corpus:
+            path = os.path.join(args.save_plans, f"{plan.name}.json")
+            plan.save(path)
+            print(f"wrote {path}")
+        return 0
+
+    plans = None
+    if args.plan:
+        plans = [FaultPlan.load(path) for path in args.plan]
+        if args.builtin:
+            plans = corpus + plans
+    tracer = None
+    if args.trace:
+        with obs.tracing() as tracer:
+            report = run_chaos(
+                plans,
+                seed=args.seed,
+                items=args.items,
+                requests=args.requests,
+                serve=not args.no_serve,
+                log_fn=print,
+            )
+    else:
+        report = run_chaos(
+            plans,
+            seed=args.seed,
+            items=args.items,
+            requests=args.requests,
+            serve=not args.no_serve,
+            log_fn=print,
+        )
+    print()
+    print(render_chaos(report))
+    if args.trace and tracer is not None:
+        _export_trace(tracer, args.trace)
+    print()
+    print("chaos: OK" if report.ok else "chaos: FAILED")
+    return 0 if report.ok else 1
+
+
 def cmd_serve_bench(args) -> int:
     """``repro serve-bench``: offered load vs batching policy sweep."""
     from repro.serve import BatchingPolicy, lp_pool, run_load, synthetic_stream
@@ -463,6 +547,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "certify": cmd_certify,
         "fuzz": cmd_fuzz,
         "replay": cmd_replay,
+        "chaos": cmd_chaos,
         "serve-bench": cmd_serve_bench,
     }
     try:

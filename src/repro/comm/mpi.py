@@ -29,7 +29,8 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro import obs
 from repro.comm.network import SUMMIT_FAT_TREE, NetworkSpec, payload_bytes
-from repro.errors import CommError, DeadlockError, RankError
+from repro.errors import CommError, DeadlockError, RankError, RankLostError
+from repro.faults.injector import active as fault_active
 from repro.metrics import Metrics
 
 #: Wildcard source for :class:`Recv`.
@@ -203,6 +204,16 @@ class SimMPI:
         return progressed
 
     def _resume(self, rank: int, state: _RankState) -> None:
+        injector = fault_active()
+        if injector is not None and injector.rank_drop(rank):
+            # The rank dies before making progress; the whole run fails
+            # fast so a supervisor-level recovery loop can restart from
+            # its latest consistent snapshot.
+            state.finished = True
+            state.gen.close()
+            self.metrics.inc("comm.rank_drops")
+            obs.event("fault.rank_drop", category="fault", rank=rank)
+            raise RankLostError(rank)
         value, state.resume_value = state.resume_value, None
         try:
             request = state.gen.send(value)

@@ -87,6 +87,11 @@ class SupervisorConfig:
     checkpoint_every: int = 0
     #: Safety valve on total evaluations.
     max_evaluations: int = 1_000_000
+    #: Called with each snapshot as it is taken.  Unlike the in-memory
+    #: ``SupervisorResult.snapshots`` list (lost if the run dies), a
+    #: sink outlives a crashed run — it is how rank-loss recovery gets
+    #: the latest consistent snapshot to restart from.
+    checkpoint_sink: Optional[Callable[["Snapshot"], None]] = None
 
 
 @dataclass
@@ -176,9 +181,10 @@ def _run_sequential(
         for child in result.children:
             pool.push(child)
         if config.checkpoint_every and evaluations % config.checkpoint_every == 0:
-            snapshots.append(
-                Snapshot(when=clock, tasks=pool.payloads(), incumbent=incumbent)
-            )
+            snapshot = Snapshot(when=clock, tasks=pool.payloads(), incumbent=incumbent)
+            snapshots.append(snapshot)
+            if config.checkpoint_sink is not None:
+                config.checkpoint_sink(snapshot)
     return SupervisorResult(
         makespan=clock,
         evaluations=evaluations,
@@ -310,14 +316,15 @@ def _dynamic_supervisor(
                 # Consistent snapshot (§2.1): queued tasks ∪ tasks still
                 # with workers or in transit — together they preserve the
                 # optimum no matter where the search is interrupted.
-                snapshots.append(
-                    Snapshot(
-                        when=msg.arrival,
-                        tasks=pool.payloads()
-                        + [t.payload for t in outstanding_tasks.values()],
-                        incumbent=incumbent,
-                    )
+                snapshot = Snapshot(
+                    when=msg.arrival,
+                    tasks=pool.payloads()
+                    + [t.payload for t in outstanding_tasks.values()],
+                    incumbent=incumbent,
                 )
+                snapshots.append(snapshot)
+                if config.checkpoint_sink is not None:
+                    config.checkpoint_sink(snapshot)
             # Feed idle workers as work becomes available.
             while idle_workers and pool and evaluations + outstanding < config.max_evaluations:
                 worker = idle_workers.pop(0)

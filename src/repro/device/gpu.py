@@ -33,6 +33,7 @@ from repro.device.memory import MemoryPool
 from repro.device.spec import PCIE3, DeviceSpec, LinkSpec
 from repro.device.transfer import TransferEngine
 from repro.errors import InvalidHandleError, StreamError
+from repro.faults.injector import active as fault_active
 from repro.la import flops as F
 from repro.la.batch import batched_cholesky, batched_lu_factor, batched_lu_solve
 from repro.la.dense import LUFactors, lu_factor, lu_solve
@@ -171,6 +172,16 @@ class Device:
 
     def _charge(self, cost: K.KernelCost, stream: Optional[Stream]) -> float:
         duration = cost.duration(self.spec)
+        injector = fault_active()
+        if injector is not None:
+            # Failed launches retry in place; their partial work plus
+            # backoff rides on top of the successful launch.  Raises a
+            # FaultError (unrecoverable) before anything is charged.
+            wasted = injector.kernel_attempt(cost, self.spec)
+            if wasted:
+                self.metrics.inc("faults.kernel_retries")
+                self.metrics.add_time("time.fault.kernel", wasted)
+                duration += wasted
         self.metrics.inc(f"kernels.{cost.name}")
         self.metrics.inc("kernels.total")
         self.metrics.add_time(f"time.kernel.{cost.name}", duration)

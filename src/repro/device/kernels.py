@@ -45,6 +45,17 @@ class KernelCost:
         sync = self.serial_depth * spec.sync_latency
         return spec.kernel_launch_latency + max(compute, memory) + sync
 
+    def failed_duration(self, spec: DeviceSpec, fraction: float) -> float:
+        """Seconds wasted by a launch that dies ``fraction`` of the way in.
+
+        The launch latency is paid in full even for an immediate abort;
+        the remaining body is prorated.  Used by the fault injector to
+        price the partial work of a failed attempt.
+        """
+        frac = min(max(fraction, 0.0), 1.0)
+        body = self.duration(spec) - spec.kernel_launch_latency
+        return spec.kernel_launch_latency + body * frac
+
 
 def gemm_kernel(m: int, n: int, k: int) -> KernelCost:
     """Dense matrix multiply C(m,n) = A(m,k) B(k,n)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.device.clock import SimClock
 from repro.device.spec import LinkSpec
+from repro.faults.injector import active as fault_active
 from repro.metrics import Metrics
 from repro import obs
 
@@ -27,8 +28,18 @@ class TransferEngine:
 
     def _move(self, direction: str, nbytes: int) -> float:
         seconds = self.link.transfer_time(int(nbytes))
+        injector = fault_active()
+        overhead = 0.0
+        if injector is not None:
+            # Timed-out/corrupted crossings retry with backoff; their
+            # wasted time precedes the crossing that finally lands.
+            # Raises TransferFaultError before anything is charged.
+            overhead = injector.transfer_attempt(direction, seconds)
+            if overhead:
+                self.metrics.inc("faults.transfer_retries")
+                self.metrics.add_time("time.fault.transfer", overhead)
         start = self.clock.now
-        self.clock.advance(seconds)
+        self.clock.advance(seconds + overhead)
         self.metrics.inc(f"transfers.{direction}")
         self.metrics.inc(f"transfers.{direction}_bytes", int(nbytes))
         self.metrics.add_time(f"time.{direction}", seconds)
@@ -37,12 +48,12 @@ class TransferEngine:
             tracer.sim_span(
                 direction,
                 start,
-                seconds,
+                seconds + overhead,
                 self.track_of(),
                 category="transfer",
                 nbytes=int(nbytes),
             )
-        return seconds
+        return seconds + overhead
 
     def host_to_device(self, nbytes: int) -> float:
         """Move ``nbytes`` host→device; returns the simulated seconds."""

@@ -157,6 +157,91 @@ class ServiceClosed(ServiceError):
 
 
 # ---------------------------------------------------------------------------
+# Fault injection (repro.faults)
+# ---------------------------------------------------------------------------
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault failures (``repro.faults``).
+
+    ``fault_count`` carries the number of injected faults that are still
+    unresolved when the error propagates; whichever recovery layer
+    catches it must resolve them (recovered / tolerated / escaped) so
+    the injector's accounting invariant holds.
+    """
+
+    def __init__(self, message: str, fault_count: int = 1):
+        self.fault_count = fault_count
+        super().__init__(message)
+
+
+class KernelFaultError(FaultError):
+    """A kernel launch failed and exhausted its in-place retry budget."""
+
+    def __init__(self, kernel: str, attempts: int, fault_count: int = 1):
+        self.kernel = kernel
+        self.attempts = attempts
+        super().__init__(
+            f"kernel {kernel!r} failed {attempts} consecutive launches",
+            fault_count=fault_count,
+        )
+
+
+class EccError(FaultError):
+    """An uncorrectable ECC error: in-place retry cannot help."""
+
+    def __init__(self, kernel: str, fault_count: int = 1):
+        self.kernel = kernel
+        super().__init__(
+            f"uncorrectable ECC error during kernel {kernel!r}",
+            fault_count=fault_count,
+        )
+
+
+class TransferFaultError(FaultError):
+    """A host↔device transfer kept timing out or arriving corrupted."""
+
+    def __init__(self, direction: str, kind: str, attempts: int, fault_count: int = 1):
+        self.direction = direction
+        self.kind = kind
+        self.attempts = attempts
+        super().__init__(
+            f"{direction} transfer failed {attempts} attempts (last: {kind})",
+            fault_count=fault_count,
+        )
+
+
+class RankLostError(FaultError):
+    """A simulated MPI rank dropped out of the communicator."""
+
+    def __init__(self, rank: int, fault_count: int = 1):
+        self.rank = rank
+        super().__init__(f"rank {rank} lost", fault_count=fault_count)
+
+
+class WorkerCrashError(FaultError):
+    """A serve worker crashed while executing a batch."""
+
+    def __init__(self, worker: int, in_flight: int, fault_count: int = 1):
+        self.worker = worker
+        self.in_flight = in_flight
+        super().__init__(
+            f"worker {worker} crashed with {in_flight} members in flight",
+            fault_count=fault_count,
+        )
+
+
+class SolverCrashError(FaultError):
+    """The branch-and-bound driver was killed mid-search (node-kill site)."""
+
+    def __init__(self, node_id: int, fault_count: int = 1):
+        self.node_id = node_id
+        super().__init__(
+            f"search killed at node {node_id}", fault_count=fault_count
+        )
+
+
+# ---------------------------------------------------------------------------
 # Correctness tooling (repro.check)
 # ---------------------------------------------------------------------------
 

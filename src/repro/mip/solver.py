@@ -24,7 +24,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.config import DEFAULT_CONFIG, Config
-from repro.errors import LPError, MIPError
+from repro.errors import LPError, MIPError, SolverCrashError
+from repro.faults.injector import active as fault_active
 from repro.lp.dual_simplex import dual_simplex_resolve
 from repro.lp.problem import StandardFormLP
 from repro.lp.result import LPResult, LPStatus
@@ -141,6 +142,12 @@ class SolverOptions:
     log_fn: Optional[Callable[[str], None]] = None
     #: Keep up to this many distinct improving solutions (solution pool).
     solution_pool_size: int = 1
+    #: Capture a consistent snapshot every N processed nodes
+    #: (0 disables; requires ``checkpoint_fn``).
+    checkpoint_every: int = 0
+    #: Sink for captured :class:`repro.mip.snapshot.SearchSnapshot`\ s;
+    #: a crash-recovery driver resumes from the latest one delivered.
+    checkpoint_fn: Optional[Callable] = None
 
 
 class BranchAndBoundSolver:
@@ -332,6 +339,8 @@ class BranchAndBoundSolver:
                 selector.push(child.node_id, node.lp_bound)
             return None
 
+        injector = fault_active()
+        last_checkpoint = -1
         while selector and self.stats.nodes_processed < options.node_limit:
             node_id = selector.pop()
             with obs.span("mip.node", category="mip", node=node_id) as node_span:
@@ -339,6 +348,22 @@ class BranchAndBoundSolver:
                 node_span.set(tag=tree.node(node_id).tag.value)
             if flow == "break":
                 break
+            if (
+                options.checkpoint_every
+                and options.checkpoint_fn is not None
+                and self.stats.nodes_processed % options.checkpoint_every == 0
+                and self.stats.nodes_processed != last_checkpoint
+            ):
+                last_checkpoint = self.stats.nodes_processed
+                from repro.mip.snapshot import capture_snapshot
+
+                options.checkpoint_fn(
+                    capture_snapshot(tree, incumbent_obj, incumbent_x)
+                )
+            # Checkpoint before the kill draw: a crash at node k can
+            # always resume from a snapshot taken at or before k.
+            if injector is not None and injector.node_kill():
+                raise SolverCrashError(node_id)
 
         self.engine.end_search()
 

@@ -226,6 +226,34 @@ def render_fuzz(report) -> str:
     return out
 
 
+def render_chaos(report) -> str:
+    """Per-run table of a :class:`repro.faults.chaos.ChaosReport`."""
+    rows = []
+    for run in report.runs:
+        counts = run.counts or {}
+        rows.append(
+            (
+                "ok" if run.ok else "FAIL",
+                run.plan,
+                run.scenario,
+                counts.get("injected", 0),
+                counts.get("recovered", 0),
+                counts.get("tolerated", 0),
+                counts.get("escaped", 0),
+                run.detail[:48] if run.detail else "-",
+            )
+        )
+    failures = sum(1 for run in report.runs if not run.ok)
+    return render_table(
+        ["", "plan", "scenario", "inj", "rec", "tol", "esc", "detail"],
+        rows,
+        title=(
+            f"chaos: {len(report.runs)} runs, "
+            f"{report.total_injected} faults injected, {failures} failures"
+        ),
+    )
+
+
 def sparkline(values: Sequence[Number]) -> str:
     """One-line unicode sparkline of a series."""
     values = [float(v) for v in values]

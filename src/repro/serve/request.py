@@ -120,6 +120,8 @@ class SolveResponse:
     worker: int = -1
     #: Trace id inherited from the request (``req-000042``-style).
     trace_id: str = ""
+    #: Crash-recovery re-dispatch rounds this request survived (0 = none).
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -158,6 +160,7 @@ class SolveResponse:
             "coalesced": self.coalesced,
             "batch_size": self.batch_size,
             "worker": self.worker,
+            "retries": self.retries,
             "timings": {
                 "queue_wait": self.queue_wait,
                 "assembly_wait": self.assembly_wait,

@@ -21,6 +21,7 @@ Numerics are exact on both paths; only the cost accounting differs.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -29,7 +30,8 @@ from repro import obs
 from repro.device.group import DeviceGroup
 from repro.device.gpu import Device
 from repro.device.spec import DeviceSpec, V100
-from repro.errors import SolverError
+from repro.errors import FaultError, SolverError
+from repro.faults.injector import active as fault_active
 from repro.lp.batch_simplex import solve_lp_batch_on_device
 from repro.lp.result import LPStatus
 from repro.metrics import Metrics
@@ -40,6 +42,27 @@ from repro.serve.request import Outcome, SolveRequest, SolveResponse
 #: Solver statuses that count as a terminal serving answer.
 _TERMINAL_LP = (LPStatus.OPTIMAL, LPStatus.INFEASIBLE, LPStatus.UNBOUNDED)
 _TERMINAL_MIP = (MIPStatus.OPTIMAL, MIPStatus.INFEASIBLE, MIPStatus.UNBOUNDED)
+
+
+@dataclass
+class DispatchOutcome:
+    """What one dispatch round produced (and what it lost).
+
+    ``completed``/``responses`` are the members that got an answer,
+    aligned pairwise.  ``requeue`` are the members in flight when the
+    worker crashed (or whose solve died on an unrecoverable injected
+    fault) — the service re-dispatches exactly these, hedging away from
+    ``worker``.  ``pending_faults`` counts injected faults not yet
+    resolved; the service resolves them recovered (requeue drained) or
+    escaped (retry budget exhausted).
+    """
+
+    completed: List[SolveRequest] = field(default_factory=list)
+    responses: List[SolveResponse] = field(default_factory=list)
+    requeue: List[SolveRequest] = field(default_factory=list)
+    worker: int = -1
+    completion: float = 0.0
+    pending_faults: int = 0
 
 
 class WorkerPool:
@@ -70,9 +93,19 @@ class WorkerPool:
         """Slowest worker's simulated clock."""
         return self.group.makespan
 
-    def dispatch(self, batch: List[SolveRequest], when: float) -> List[SolveResponse]:
-        """Execute one compatibility-bucket batch; returns member responses."""
-        rank = self.group.least_loaded()
+    def dispatch(
+        self,
+        batch: List[SolveRequest],
+        when: float,
+        avoid: Optional[int] = None,
+    ) -> DispatchOutcome:
+        """Execute one compatibility-bucket batch on the best worker.
+
+        ``avoid`` excludes one rank from selection — the service's
+        hedged re-dispatch after a crash sends the retry to a different
+        worker when the pool has one.
+        """
+        rank = self._pick_worker(avoid)
         device = self.group.device(rank)
         start = max(when, device.clock.now)
         device.clock.advance_to(start)
@@ -80,11 +113,39 @@ class WorkerPool:
         lockstep = batch[0].kind == "lp" and all(
             req.kind == "lp" for req in batch
         ) and self._lockstep_capable(batch)
+
+        injector = fault_active()
+        crash_at: Optional[int] = None
+        if injector is not None:
+            crash_at = injector.worker_crash(len(batch), lockstep)
+            if crash_at is not None:
+                self.metrics.inc("serve.worker_crashes")
+                obs.event(
+                    "fault.worker_crash", category="fault",
+                    worker=rank, batch_size=len(batch), lost_from=crash_at,
+                )
+
+        pending_faults = 1 if crash_at is not None else 0
         if lockstep:
-            outcomes = self._run_lockstep(device, batch)
+            completed = list(batch)
+            requeue: List[SolveRequest] = []
+            try:
+                outcomes = self._run_lockstep(device, batch)
+            except FaultError as exc:
+                # The fused kernel sequence died: every member is lost.
+                pending_faults += exc.fault_count
+                completed, outcomes, requeue = [], [], list(batch)
+            else:
+                if crash_at is not None:
+                    # The worker died after the run: answers are lost,
+                    # the simulated time it burned is not.
+                    completed, outcomes, requeue = [], [], list(batch)
             self.metrics.inc("serve.dispatch.lockstep")
         else:
-            outcomes = self._run_concurrent(device, batch)
+            completed, outcomes, requeue, member_faults = self._run_concurrent(
+                device, batch, crash_at
+            )
+            pending_faults += member_faults
             self.metrics.inc("serve.dispatch.concurrent")
         completion = device.clock.now
 
@@ -95,6 +156,7 @@ class WorkerPool:
                 device.obs_track, category="serve",
                 batch_size=len(batch), worker=rank,
                 path="lockstep" if lockstep else "concurrent",
+                lost=len(requeue),
             )
 
         self.metrics.inc("serve.batches")
@@ -103,7 +165,7 @@ class WorkerPool:
         self.metrics.add_time("time.serve.device", completion - start)
 
         responses = []
-        for req, (outcome, status, objective, x) in zip(batch, outcomes):
+        for req, (outcome, status, objective, x) in zip(completed, outcomes):
             responses.append(
                 SolveResponse(
                     request_id=req.request_id,
@@ -121,7 +183,20 @@ class WorkerPool:
                     trace_id=req.trace_id,
                 )
             )
-        return responses
+        return DispatchOutcome(
+            completed=completed,
+            responses=responses,
+            requeue=requeue,
+            worker=rank,
+            completion=completion,
+            pending_faults=pending_faults,
+        )
+
+    def _pick_worker(self, avoid: Optional[int] = None) -> int:
+        """Least-loaded rank, excluding ``avoid`` when another exists."""
+        ranks = list(range(self.group.size))
+        candidates = [r for r in ranks if r != avoid] or ranks
+        return min(candidates, key=lambda r: (self.group.device(r).clock.now, r))
 
     # -- execution paths ------------------------------------------------------
 
@@ -147,14 +222,36 @@ class WorkerPool:
         return out
 
     def _run_concurrent(
-        self, device: Device, batch: List[SolveRequest]
-    ) -> List[Tuple[Outcome, str, float, Optional[np.ndarray]]]:
-        """Members as concurrent streams: work-and-span completion model."""
-        out = []
+        self,
+        device: Device,
+        batch: List[SolveRequest],
+        crash_at: Optional[int] = None,
+    ) -> Tuple[
+        List[SolveRequest],
+        List[Tuple[Outcome, str, float, Optional[np.ndarray]]],
+        List[SolveRequest],
+        int,
+    ]:
+        """Members as concurrent streams: work-and-span completion model.
+
+        ``crash_at`` marks the first member lost to a worker crash —
+        members from that index on are requeued untouched.  A member
+        whose own solve dies on an unrecoverable injected fault is also
+        requeued (its wasted kernel time still charges the device).
+        Returns ``(completed, outcomes, requeue, pending_faults)``.
+        """
+        completed: List[SolveRequest] = []
+        out: List[Tuple[Outcome, str, float, Optional[np.ndarray]]] = []
+        requeue: List[SolveRequest] = []
+        pending_faults = 0
         busy_times = []
         tracer = obs.active()
         base = device.clock.now
-        for req in batch:
+        limit = len(batch) if crash_at is None else crash_at
+        for i, req in enumerate(batch):
+            if i >= limit:
+                requeue.append(req)
+                continue
             scratch = Device(self.spec)
             if tracer is not None:
                 # Align the scratch timeline with the batch start so the
@@ -168,16 +265,23 @@ class WorkerPool:
                     result = self._solve_mip(req.problem, scratch)
                 else:
                     result = self._solve_solo_lp(req.problem, scratch)
+            except FaultError as exc:
+                pending_faults += exc.fault_count
+                busy_times.append(scratch.clock.now - member_start)
+                device.metrics.merge(scratch.metrics)
+                requeue.append(req)
+                continue
             except SolverError as exc:
                 result = (Outcome.FAILED, type(exc).__name__, float("nan"), None)
             busy_times.append(scratch.clock.now - member_start)
             device.metrics.merge(scratch.metrics)
+            completed.append(req)
             out.append(result)
         span = max(busy_times) if busy_times else 0.0
         work = sum(busy_times)
         elapsed = max(span, work / self.spec.max_concurrent_kernels)
         device.clock.advance(elapsed)
-        return out
+        return completed, out, requeue, pending_faults
 
     def _solve_mip(self, problem: MIPProblem, scratch: Device):
         from repro.api import SolveOptions, solve

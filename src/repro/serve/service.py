@@ -28,6 +28,8 @@ from typing import Dict, List, Optional
 from repro import obs
 from repro.device.spec import DeviceSpec, V100
 from repro.errors import ServiceClosed, ServiceError, ServiceSaturated
+from repro.faults.injector import active as fault_active
+from repro.faults.plan import SITE_WORKER
 from repro.metrics import Metrics
 from repro.serve.batching import BatchingPolicy, BatchQueue, BucketKey
 from repro.serve.cache import CACHE_LOOKUP_SECONDS, CacheEntry, ResultCache
@@ -247,43 +249,100 @@ class SolveService:
             )
 
     def _flush(self, key: BucketKey, when: float, trigger: str) -> None:
-        """Pop one batch from ``key`` and execute it on the worker pool."""
+        """Pop one batch from ``key`` and execute it on the worker pool.
+
+        Under fault injection a dispatch round can lose members (worker
+        crash, unrecoverable member fault); this loop re-dispatches
+        exactly the lost members — hedged onto a different worker, after
+        the plan's jittered backoff — until they complete or the retry
+        budget is exhausted, at which point the stragglers fail and
+        their injected faults are accounted as escaped.
+        """
         batch = self.queue.pop_batch(key)
         if not batch:
             return
         self.metrics.inc(f"serve.flush.{trigger}")
-        responses = self.pool.dispatch(batch, when)
-        for request, response in zip(batch, responses):
-            self._primaries.pop(request.fingerprint, None)
-            if response.ok:
-                self.cache.put(
-                    request.fingerprint,
-                    CacheEntry(
-                        outcome=response.outcome,
-                        solver_status=response.solver_status,
-                        objective=response.objective,
-                        x=response.x,
-                        ready_time=response.completion_time,
-                    ),
-                )
-            self._record(response)
-            for follower in self._followers.pop(request.request_id, []):
-                twin = SolveResponse(
-                    request_id=follower.request_id,
-                    fingerprint=follower.fingerprint,
+        injector = fault_active()
+        max_attempts = (
+            injector.plan.retry.max_attempts if injector is not None else 1
+        )
+        pending = batch
+        attempt = 1
+        t = when
+        avoid: Optional[int] = None
+        unresolved = 0
+        while True:
+            out = self.pool.dispatch(pending, t, avoid=avoid)
+            unresolved += out.pending_faults
+            for request, response in zip(out.completed, out.responses):
+                response.retries = attempt - 1
+                self._finish(request, response)
+            if not out.requeue:
+                break
+            self.metrics.inc("serve.requeued", len(out.requeue))
+            if attempt >= max_attempts:
+                for request in out.requeue:
+                    self._finish(
+                        request,
+                        SolveResponse(
+                            request_id=request.request_id,
+                            fingerprint=request.fingerprint,
+                            outcome=Outcome.FAILED,
+                            solver_status="worker_crash",
+                            arrival_time=request.arrival_time,
+                            dispatch_time=when,
+                            start_time=out.completion,
+                            completion_time=out.completion,
+                            worker=out.worker,
+                            trace_id=request.trace_id,
+                            retries=attempt - 1,
+                        ),
+                    )
+                if injector is not None:
+                    injector.resolve_escaped(unresolved, site=SITE_WORKER)
+                return
+            delay = injector.backoff(attempt) if injector is not None else 0.0
+            t = max(t, out.completion) + delay
+            # The hedge: retry on any worker but the one that just died.
+            avoid = out.worker if self.pool.size > 1 else None
+            attempt += 1
+            pending = out.requeue
+        if unresolved and injector is not None:
+            injector.resolve_recovered(unresolved, site=SITE_WORKER)
+
+    def _finish(self, request: SolveRequest, response: SolveResponse) -> None:
+        """Record one dispatched member's response (and its followers')."""
+        self._primaries.pop(request.fingerprint, None)
+        if response.ok:
+            self.cache.put(
+                request.fingerprint,
+                CacheEntry(
                     outcome=response.outcome,
                     solver_status=response.solver_status,
                     objective=response.objective,
                     x=response.x,
-                    arrival_time=follower.arrival_time,
-                    dispatch_time=response.dispatch_time,
-                    start_time=response.start_time,
-                    completion_time=response.completion_time,
-                    coalesced=True,
-                    batch_size=response.batch_size,
-                    worker=response.worker,
-                )
-                self._record(twin)
+                    ready_time=response.completion_time,
+                ),
+            )
+        self._record(response)
+        for follower in self._followers.pop(request.request_id, []):
+            twin = SolveResponse(
+                request_id=follower.request_id,
+                fingerprint=follower.fingerprint,
+                outcome=response.outcome,
+                solver_status=response.solver_status,
+                objective=response.objective,
+                x=response.x,
+                arrival_time=follower.arrival_time,
+                dispatch_time=response.dispatch_time,
+                start_time=response.start_time,
+                completion_time=response.completion_time,
+                coalesced=True,
+                batch_size=response.batch_size,
+                worker=response.worker,
+                retries=response.retries,
+            )
+            self._record(twin)
 
     def _record(self, response: SolveResponse) -> None:
         if not response.trace_id:

@@ -32,6 +32,7 @@ EngineFactory = Callable[[Optional[SimplexOptions]], ExecutionEngine]
 
 _REGISTRY: Dict[str, EngineFactory] = {}
 _DESCRIPTIONS: Dict[str, str] = {}
+_FALLBACKS: Dict[str, Optional[str]] = {}
 
 
 def register_strategy(
@@ -39,14 +40,27 @@ def register_strategy(
     factory: EngineFactory,
     description: str = "",
     overwrite: bool = False,
+    fallback: Optional[str] = None,
 ) -> None:
-    """Register an engine factory under ``name``."""
+    """Register an engine factory under ``name``.
+
+    ``fallback`` names the strategy to degrade to when this one dies on
+    an unrecoverable injected fault (see :mod:`repro.faults`); chains
+    end at a strategy with no fallback (``"direct"`` touches no
+    simulated device, so no device fault can reach it).
+    """
     if name in _REGISTRY and not overwrite:
         raise ReproError(
             f"strategy {name!r} is already registered; pass overwrite=True"
         )
     _REGISTRY[name] = factory
     _DESCRIPTIONS[name] = description
+    _FALLBACKS[name] = fallback
+
+
+def fallback_for(name: str) -> Optional[str]:
+    """The degradation target registered for ``name`` (None = end of chain)."""
+    return _FALLBACKS.get(name)
 
 
 def strategy_factory(name: str) -> EngineFactory:
@@ -92,21 +106,25 @@ def _register_builtins() -> None:
         "gpu_only",
         lambda opts: GpuOnlyEngine(simplex_options=opts),
         "everything on one GPU (paper §5, strategy 1)",
+        fallback="cpu_orchestrated",
     )
     register_strategy(
         "cpu_orchestrated",
         lambda opts: CpuOrchestratedEngine(simplex_options=opts),
         "CPU drives the tree, GPU does LP linear algebra (strategy 2)",
+        fallback="direct",
     )
     register_strategy(
         "hybrid",
         lambda opts: HybridEngine(simplex_options=opts),
         "small LPs stay on the CPU, large go to the GPU (strategy 3)",
+        fallback="cpu_orchestrated",
     )
     register_strategy(
         "big_mip_4",
         lambda opts: BigMipEngine(num_devices=4, simplex_options=opts),
         "one big MIP spread across 4 devices (strategy 4)",
+        fallback="hybrid",
     )
 
 

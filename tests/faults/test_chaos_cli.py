@@ -1,0 +1,104 @@
+"""The ``repro chaos`` subcommand and the chaos harness surface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.faults.chaos import ChaosReport, builtin_corpus, run_chaos
+from repro.faults.plan import SITE_WORKER, FaultPlan, PLAN_FORMAT_VERSION
+
+
+class TestCorpus:
+    def test_builtin_corpus_is_deterministic(self):
+        assert builtin_corpus(0) == builtin_corpus(0)
+        assert builtin_corpus(0) != builtin_corpus(1)
+
+    def test_corpus_covers_every_site(self):
+        from repro.faults.plan import SITES
+
+        corpus = builtin_corpus(0)
+        for site in SITES:
+            assert any(plan.touches(site) for plan in corpus), site
+
+
+class TestHarness:
+    def test_single_plan_replay(self):
+        plan = builtin_corpus(0)[1]  # ecc-degrade: one scheduled fault
+        report = run_chaos([plan], items=6, requests=4)
+        assert isinstance(report, ChaosReport)
+        assert report.ok
+        assert report.total_injected >= 1
+        doc = report.to_dict()
+        assert doc["ok"] is True
+        assert all("counts" in run for run in doc["runs"])
+
+    def test_failure_detail_reaches_report(self):
+        # An unsurvivable plan: worker crashes every time, one attempt.
+        from repro.faults.plan import RetryPolicy
+
+        plan = FaultPlan(
+            seed=0,
+            rates={SITE_WORKER: 1.0},
+            retry=RetryPolicy(max_attempts=1),
+            name="doomed",
+        )
+        report = run_chaos([plan], items=6, requests=3)
+        assert not report.ok
+        failed = [run for run in report.runs if not run.ok]
+        assert failed and failed[0].detail
+
+
+class TestCli:
+    def test_save_plans_writes_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        assert main(["chaos", "--save-plans", str(out)]) == 0
+        files = sorted(os.listdir(out))
+        assert len(files) == len(builtin_corpus(0))
+        doc = json.loads((out / files[0]).read_text())
+        assert doc["version"] == PLAN_FORMAT_VERSION
+
+    def test_replay_saved_plan(self, tmp_path, capsys):
+        plan = builtin_corpus(0)[1]  # ecc-degrade
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        code = main(
+            ["chaos", "--plan", str(path), "--items", "6", "--requests", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos: OK" in out
+        assert "ecc-degrade" in out
+
+    def test_failing_plan_sets_exit_code(self, tmp_path, capsys):
+        doc = {
+            "version": PLAN_FORMAT_VERSION,
+            "name": "doomed",
+            "seed": 0,
+            "rates": {SITE_WORKER: 1.0},
+            "retry": {"max_attempts": 1},
+        }
+        path = tmp_path / "doomed.json"
+        path.write_text(json.dumps(doc))
+        code = main(
+            ["chaos", "--plan", str(path), "--items", "6", "--requests", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "chaos: FAILED" in out
+
+    def test_trace_export(self, tmp_path, capsys):
+        plan = builtin_corpus(0)[1]
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "chaos", "--plan", str(path), "--items", "6",
+                "--requests", "4", "--no-serve", "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]

@@ -1,0 +1,97 @@
+"""Satellite: property-based chaos (hypothesis).
+
+For *any* generated survivable fault plan, the recovered solution must
+pass :mod:`repro.check`'s exact certificate audit and agree with the
+differential re-solve — and the injector's books must balance with
+nothing escaped.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import SolveOptions, solve
+from repro.check import certify_mip_result, differential_mip
+from repro.faults.injector import injecting
+from repro.faults.plan import (
+    SITE_ECC,
+    SITE_KERNEL,
+    SITE_NODE,
+    SITE_TRANSFER,
+    SITE_WORKER,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.mip.solver import SolverOptions
+from repro.problems.knapsack import generate_knapsack
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def survivable_plans(draw):
+    """Any plan whose budget/retry arithmetic guarantees completion.
+
+    ``retry.max_attempts > max_faults`` means no retry loop can burn
+    its whole budget on rate-based faults, and ``degrade=True`` absorbs
+    whatever remains — so zero faults can escape.
+    """
+    budget = draw(st.integers(min_value=0, max_value=4))
+    sites = (SITE_KERNEL, SITE_ECC, SITE_TRANSFER, SITE_WORKER, SITE_NODE)
+    rates = {}
+    for site in draw(st.sets(st.sampled_from(sites), min_size=1, max_size=4)):
+        rates[site] = draw(
+            st.floats(min_value=0.01, max_value=0.3, allow_nan=False)
+        )
+    return FaultPlan(
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        rates=rates,
+        max_faults=budget,
+        retry=RetryPolicy(max_attempts=budget + 2),
+        degrade=True,
+    )
+
+
+@SLOW
+@given(plan=survivable_plans(), problem_seed=st.integers(0, 50))
+def test_survivable_plan_yields_certified_solution(plan, problem_seed):
+    problem = generate_knapsack(7, seed=problem_seed)
+    with injecting(plan) as injector:
+        report = solve(
+            problem,
+            SolveOptions(
+                strategy="gpu_only",
+                solver=SolverOptions(checkpoint_every=2),
+            ),
+        )
+        counts = injector.counts()
+        assert injector.balanced, counts
+        assert counts["escaped"] == 0, counts
+    assert report.ok
+    certificate = certify_mip_result(problem, report.result)
+    assert certificate.ok, [c.name for c in certificate.checks if not c.ok]
+
+
+@SLOW
+@given(plan=survivable_plans())
+def test_survivable_plan_agrees_with_differential_audit(plan):
+    problem = generate_knapsack(6, seed=13)
+    with injecting(plan) as injector:
+        report = solve(
+            problem,
+            SolveOptions(
+                strategy="hybrid",
+                solver=SolverOptions(checkpoint_every=2),
+            ),
+        )
+        assert injector.clean
+    # Cross-solver agreement, run outside injection: the faulty run's
+    # answer must match what independent clean solvers produce.
+    diff = differential_mip(problem)
+    assert diff.ok
+    reference = diff.runs[0].objective
+    assert report.objective == pytest.approx(reference, rel=1e-6)

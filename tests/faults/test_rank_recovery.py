@@ -1,0 +1,58 @@
+"""Rank-loss recovery: the distributed solve survives dropped ranks."""
+
+import pytest
+
+from repro.errors import RankLostError
+from repro.faults.injector import injecting
+from repro.faults.plan import SITE_RANK, FaultPlan, ScheduledFault
+from repro.faults.recovery import solve_distributed_with_recovery
+from repro.problems.knapsack import generate_knapsack
+
+
+def _drop(rank: int, at: int) -> FaultPlan:
+    return FaultPlan(
+        seed=0, scheduled=(ScheduledFault(site=SITE_RANK, at=at, rank=rank),)
+    )
+
+
+class TestRankRecovery:
+    def test_baseline_unchanged_without_faults(self):
+        problem = generate_knapsack(7, seed=11)
+        run = solve_distributed_with_recovery(problem, num_workers=2)
+        assert run.restarts == 0
+        assert run.incumbent is not None
+
+    @pytest.mark.parametrize("rank,at", [(1, 1), (2, 2), (1, 4)])
+    def test_incumbent_matches_after_drop(self, rank, at):
+        problem = generate_knapsack(7, seed=11)
+        base = solve_distributed_with_recovery(problem, num_workers=2)
+        with injecting(_drop(rank, at)) as injector:
+            run = solve_distributed_with_recovery(problem, num_workers=2)
+            assert injector.clean
+            assert injector.counts()["injected"] == 1
+        assert run.restarts == 1
+        assert run.incumbent == pytest.approx(base.incumbent, abs=1e-9)
+
+    def test_multiple_drops_across_ranks(self):
+        problem = generate_knapsack(7, seed=11)
+        base = solve_distributed_with_recovery(problem, num_workers=3)
+        plan = FaultPlan(
+            seed=0,
+            scheduled=(
+                ScheduledFault(site=SITE_RANK, at=1, rank=1),
+                ScheduledFault(site=SITE_RANK, at=2, rank=3),
+            ),
+        )
+        with injecting(plan) as injector:
+            run = solve_distributed_with_recovery(problem, num_workers=3)
+            assert injector.clean
+        assert run.restarts == 2
+        assert run.incumbent == pytest.approx(base.incumbent, abs=1e-9)
+
+    def test_unhandled_drop_raises(self):
+        from repro.strategies.distributed import solve_distributed
+
+        problem = generate_knapsack(7, seed=11)
+        with injecting(_drop(1, 1)):
+            with pytest.raises(RankLostError):
+                solve_distributed(problem, num_workers=2)
