@@ -1,4 +1,4 @@
-.PHONY: install test bench serve-bench fuzz chaos examples clean
+.PHONY: install test bench bench-smoke serve-bench fuzz chaos examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,6 +11,10 @@ bench:
 
 serve-bench:
 	python -m pytest benchmarks/bench_s1_serve_throughput.py --benchmark-only -q
+
+bench-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench-smoke \
+		--out BENCH_smoke.json --check BENCH_pdhg.json --check BENCH_s1.json
 
 fuzz:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro fuzz --budget 50 --seed 0

@@ -1,0 +1,66 @@
+"""E14 — the first-order crossover: batched PDHG vs batched simplex.
+
+The §5.5 batched-node regime solved two ways on the simulated V100: the
+lockstep tableau simplex (one batched factorization, then serial-depth-m
+triangular solves per pivot) versus lockstep restarted PDHG (two fused
+GEMMs per sweep, zero serial depth).  Claims encoded:
+
+- small node LPs favor the simplex batch (few pivots, sync bill small);
+- the curves cross at a measurable dense size — beyond it the
+  first-order batch is the faster way to advance a B&B frontier;
+- both engines agree on every member's objective (the timing comparison
+  is only believed after cross-validation).
+
+Besides the human-readable table, this benchmark exports the
+machine-readable artifact ``BENCH_pdhg.json`` (schema of
+:mod:`repro.obs.bench`) at the repo root — the file the CI
+``bench-smoke`` job and regression tooling consume.
+"""
+
+from pathlib import Path
+
+from repro.lp.pdhg_crossover import CROSSOVER_EPS, crossover_bench_payload
+from repro.obs.bench import write_bench_json
+from repro.reporting import render_series
+
+SIZES = [16, 32, 64, 128, 192, 256]
+BATCH = 16
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_sweep():
+    return crossover_bench_payload(SIZES, batch=BATCH, eps=CROSSOVER_EPS)
+
+
+def test_e14_pdhg_crossover(benchmark, report):
+    payload = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = payload["rows"]
+    summary = payload["summary"]
+
+    # Claim: the sweep brackets the crossover — simplex wins at the
+    # small end, PDHG somewhere before the top of the sweep.
+    assert rows[0]["pdhg_seconds"] > rows[0]["simplex_seconds"]
+    assert summary["crossover_m"] is not None
+    assert summary["crossover_m"] <= SIZES[-1]
+    # Cross-validation held for every row (measure_crossover_point
+    # raises otherwise); keep the worst residual on record.
+    assert all(r["max_rel_gap"] <= 1e-2 for r in rows)
+
+    write_bench_json(_REPO_ROOT / "BENCH_pdhg.json", payload)
+
+    series = render_series(
+        "m (= n)",
+        [r["m"] for r in rows],
+        [
+            ("pdhg ms", [round(r["pdhg_seconds"] * 1e3, 2) for r in rows]),
+            ("simplex ms", [round(r["simplex_seconds"] * 1e3, 2) for r in rows]),
+            ("pdhg sweeps", [r["pdhg_sweeps"] for r in rows]),
+            ("speedup", [round(r["speedup"], 2) for r in rows]),
+        ],
+        title=(
+            f"E14 — batched PDHG vs batched simplex, batch {BATCH}, "
+            f"eps {CROSSOVER_EPS:g} (V100); crossover at m={summary['crossover_m']}"
+        ),
+    )
+    report.add("E14_pdhg_crossover", series)

@@ -13,6 +13,9 @@ Claims encoded:
   the :mod:`repro.obs` histograms the service populates.
 """
 
+from pathlib import Path
+
+from repro.obs.bench import bench_payload, write_bench_json
 from repro.reporting import format_seconds, render_series, render_table
 from repro.serve import BatchingPolicy, lp_pool, run_load, synthetic_stream
 
@@ -21,6 +24,8 @@ BATCH_SIZES = [1, 8, 32]
 #: Mean interarrival in simulated seconds: saturating → relaxed.
 LOADS = [("high", 1e-6), ("medium", 1e-4), ("low", 1e-3)]
 WORKERS = 2
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def run_throughput_sweep():
@@ -108,6 +113,40 @@ def test_s1_serve_throughput(benchmark, report):
             f"  dedup rate      : {dedup:.1%}",
             f"  throughput      : {round(cached['throughput'])} req/s",
         ]
+    )
+
+    # Machine-readable artifact for CI and regression tooling.
+    json_rows = [
+        {
+            "load": load_name,
+            "batch": batch_size,
+            "throughput": float(s["throughput"]),
+            "batches": int(s["batches"]),
+            "mean_queue_wait": float(s["mean_queue_wait"]),
+            "mean_device": float(s["mean_device"]),
+            "p95_latency": float(s["p95_latency"]),
+            "makespan": float(s["makespan"]),
+        }
+        for load_name, batch_size, s in sweep
+    ]
+    write_bench_json(
+        _REPO_ROOT / "BENCH_s1.json",
+        bench_payload(
+            "s1_serve_throughput",
+            json_rows,
+            params={
+                "requests": NUM_REQUESTS,
+                "workers": WORKERS,
+                "batch_sizes": ",".join(str(b) for b in BATCH_SIZES),
+            },
+            summary={
+                "peak_throughput": float(high[32]["throughput"]),
+                "batching_speedup": float(
+                    high[32]["throughput"] / high[1]["throughput"]
+                ),
+                "dedup_rate": float(dedup),
+            },
+        ),
     )
 
     # Claim 1: ≥3× throughput from dynamic batching at high offered load.

@@ -214,6 +214,11 @@ def _run_mip_engine(
     engine = options.engine
     if engine is None:
         engine = registry.engine_for(strategy, options.solver.simplex)
+        if options.solver.node_lp != "simplex" and engine.node_lp == "simplex":
+            # Honor SolverOptions.node_lp on registry engines that don't
+            # pin their own node engine (the pdhg strategies already do).
+            engine.node_lp = options.solver.node_lp
+            engine.pdhg_options = options.solver.pdhg
 
     injector = faults.active()
     resume_stats = None
@@ -270,7 +275,12 @@ def _solve_mip_batched(problem: MIPProblem, options: SolveOptions) -> SolveRepor
     device = options.device
     solver = BatchedNodeSolver(
         problem,
-        options=BatchedSolverOptions(batch_size=options.mip_node_batch),
+        options=BatchedSolverOptions(
+            batch_size=options.mip_node_batch,
+            node_limit=options.solver.node_limit,
+            lp_engine=options.solver.node_lp,
+            pdhg=options.solver.pdhg,
+        ),
         device=device,
     )
     result = solver.solve()

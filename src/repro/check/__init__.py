@@ -18,6 +18,7 @@ every experiment stands on; this package verifies them independently:
 from repro.check.certificates import (
     CertificateCheck,
     CertificateReport,
+    certify_first_order_lp,
     certify_lp_result,
     certify_mip_result,
     certify_mip_solution,
@@ -51,6 +52,7 @@ __all__ = [
     "MetamorphicVariant",
     "ShrinkResult",
     "SolverRun",
+    "certify_first_order_lp",
     "certify_lp_result",
     "certify_mip_result",
     "certify_mip_solution",

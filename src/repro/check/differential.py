@@ -24,6 +24,7 @@ from repro.errors import LPError, ReproError, SolverDisagreement
 from repro.lp.batch_simplex import lockstep_compatible, solve_lp_batch
 from repro.lp.dual_simplex import dual_simplex_resolve
 from repro.lp.interior_point import IPMOptions, interior_point_solve
+from repro.lp.pdhg import PDHGOptions, solve_lp_pdhg
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPStatus
 from repro.lp.simplex import solve_lp
@@ -34,6 +35,13 @@ from repro.strategies.runner import STRATEGIES, run_strategy
 
 #: Relative objective tolerance for declaring two solvers in agreement.
 DIFFERENTIAL_RTOL = 1e-6
+
+#: KKT tolerance for the PDHG run in :func:`differential_lp`.  The
+#: tolerance policy: PDHG is an *inexact* solver, so its eps must sit
+#: well inside ``DIFFERENTIAL_RTOL`` — at 1e-8 vs 1e-6 an eps-accurate
+#: objective can never trip the comparison, so any flagged disagreement
+#: is a genuine solver contradiction, not accumulated first-order slack.
+PDHG_DIFFERENTIAL_EPS = 1e-8
 
 #: Statuses that carry a terminal claim (disagreements are meaningful).
 _TERMINAL_LP = {LPStatus.OPTIMAL, LPStatus.INFEASIBLE, LPStatus.UNBOUNDED}
@@ -120,14 +128,18 @@ def differential_lp(
     rtol: float = DIFFERENTIAL_RTOL,
     include_ipm: bool = True,
     include_batch: bool = True,
+    include_pdhg: bool = True,
 ) -> DifferentialReport:
     """Run one LP through every applicable solver pair.
 
     Pairs: cold primal simplex vs. a dual-simplex re-solve from the
     optimal basis, vs. Mehrotra interior point (iteration-limit results
-    are inconclusive, not disagreements), vs. the lockstep batched
-    simplex (when the instance meets its preconditions, solved as a
-    batch of two so the batch must also agree with itself).
+    are inconclusive, not disagreements), vs. restarted PDHG solved to
+    ``PDHG_DIFFERENTIAL_EPS`` — an accuracy two decades inside ``rtol``,
+    so first-order slack cannot masquerade as a disagreement; like the
+    IPM, only its terminal statuses carry a claim — vs. the lockstep
+    batched simplex (when the instance meets its preconditions, solved
+    as a batch of two so the batch must also agree with itself).
     """
     report = DifferentialReport(problem_name=getattr(lp, "name", "lp"))
 
@@ -178,6 +190,21 @@ def differential_lp(
             )
         )
 
+    if include_pdhg:
+        pdhg = solve_lp_pdhg(lp, PDHGOptions(tolerance=PDHG_DIFFERENTIAL_EPS))
+        report.runs.append(
+            SolverRun(
+                name="pdhg",
+                status=pdhg.status.value,
+                objective=pdhg.objective,
+                # ITERATION_LIMIT is the documented slow-convergence
+                # outcome; OPTIMAL and the two-consecutive-check Farkas
+                # ray statuses are terminal claims.
+                conclusive=pdhg.status in _TERMINAL_LP,
+                note=f"eps={PDHG_DIFFERENTIAL_EPS:g}, {pdhg.iterations} iterations",
+            )
+        )
+
     if include_batch and lockstep_compatible(lp):
         try:
             batch = solve_lp_batch([lp, lp])
@@ -206,11 +233,15 @@ def differential_lp(
     return report
 
 
-#: Branch-and-bound configurations with genuinely different search paths.
+#: Branch-and-bound configurations with genuinely different search paths:
+#: (name, node_selection, branching, cut_rounds, node_lp).
 _MIP_CONFIGS = (
-    ("bb/best_first+pseudocost", "best_first", "pseudocost", 0),
-    ("bb/depth_first+most_fractional", "depth_first", "most_fractional", 0),
-    ("bb/best_first+cuts", "best_first", "pseudocost", 2),
+    ("bb/best_first+pseudocost", "best_first", "pseudocost", 0, "simplex"),
+    ("bb/depth_first+most_fractional", "depth_first", "most_fractional", 0, "simplex"),
+    ("bb/best_first+cuts", "best_first", "pseudocost", 2, "simplex"),
+    # Node relaxations by restarted PDHG with padded bounds — a wholly
+    # different LP algorithm must still land on the same MIP optimum.
+    ("bb/pdhg_nodes", "best_first", "pseudocost", 0, "pdhg"),
 )
 
 
@@ -229,12 +260,13 @@ def differential_mip(
     """
     report = DifferentialReport(problem_name=problem.name)
 
-    for name, selection, branching, cut_rounds in _MIP_CONFIGS:
+    for name, selection, branching, cut_rounds, node_lp in _MIP_CONFIGS:
         options = SolverOptions(
             node_selection=selection,
             branching=branching,
             cut_rounds=cut_rounds,
             node_limit=node_limit,
+            node_lp=node_lp,
         )
         result = BranchAndBoundSolver(problem, options).solve()
         report.runs.append(

@@ -8,8 +8,10 @@
 
 ``solve`` runs branch-and-cut through :func:`repro.api.solve`
 (optionally under one of the paper's metered strategy engines, printing
-the platform report) and supports checkpointing to / restarting from a
-JSON snapshot.  ``--trace out.json`` on ``solve`` and ``serve-bench``
+the platform report; ``--node-lp pdhg`` swaps node relaxations to the
+restarted first-order engine) and supports checkpointing to /
+restarting from a JSON snapshot.  ``bench-smoke`` exercises and
+validates the machine-readable benchmark JSON pipeline.  ``--trace out.json`` on ``solve`` and ``serve-bench``
 exports the run's unified timeline as Chrome trace JSON
 (``about://tracing`` / Perfetto); ``trace`` summarizes such a file.
 """
@@ -60,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--node-selection", default="best_first")
     solve.add_argument("--cut-rounds", type=int, default=0)
     solve.add_argument("--node-limit", type=int, default=200_000)
+    solve.add_argument(
+        "--node-lp",
+        choices=["simplex", "pdhg"],
+        default="simplex",
+        help="node relaxation engine: exact simplex or restarted "
+        "first-order PDHG with tolerance-padded bounds",
+    )
     solve.add_argument(
         "--checkpoint", default=None, help="write a snapshot here if interrupted"
     )
@@ -162,6 +171,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the chaos run's timeline as Chrome trace JSON",
     )
 
+    bench_smoke = sub.add_parser(
+        "bench-smoke",
+        help="tiny PDHG-vs-simplex crossover run that exports and "
+        "validates machine-readable benchmark JSON (the CI gate)",
+    )
+    bench_smoke.add_argument(
+        "--sizes", default="4,8", help="comma-separated LP sizes to sweep"
+    )
+    bench_smoke.add_argument("--batch", type=int, default=4)
+    bench_smoke.add_argument("--eps", type=float, default=1e-4)
+    bench_smoke.add_argument("-o", "--out", default="BENCH_smoke.json")
+    bench_smoke.add_argument(
+        "--check",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="also validate an existing bench artifact (repeatable); "
+        "a missing or schema-invalid file fails the run",
+    )
+
     serve = sub.add_parser(
         "serve-bench",
         help="sweep the batching solve service over batching policies (§5.5)",
@@ -207,6 +236,7 @@ def cmd_solve(args) -> int:
         node_selection=args.node_selection,
         cut_rounds=args.cut_rounds,
         node_limit=args.node_limit,
+        node_lp=args.node_lp,
         keep_tree=args.checkpoint is not None,
     )
 
@@ -443,6 +473,51 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench_smoke(args) -> int:
+    """``repro bench-smoke``: write + validate benchmark JSON artifacts.
+
+    Runs the crossover sweep at toy sizes (the point is the artifact
+    pipeline, not the measurement), writes the result through the
+    :mod:`repro.obs.bench` schema, re-loads it through the validator,
+    and then validates any ``--check`` artifacts — so CI fails on a
+    missing or schema-invalid ``BENCH_*.json``, not just on eyeballs.
+    """
+    from repro.lp.pdhg_crossover import crossover_bench_payload
+    from repro.obs.bench import load_bench_json, write_bench_json
+
+    try:
+        sizes = [int(tok) for tok in args.sizes.split(",") if tok]
+    except ValueError:
+        print(f"error: bad --sizes {args.sizes!r}", file=sys.stderr)
+        return 2
+    if not sizes:
+        print("error: --sizes is empty", file=sys.stderr)
+        return 2
+
+    payload = crossover_bench_payload(sizes, batch=args.batch, eps=args.eps)
+    write_bench_json(args.out, payload)
+    # Trust only what re-loads through the validator.
+    loaded = load_bench_json(args.out)
+    print(
+        f"bench-smoke: wrote {args.out} ({len(loaded['rows'])} rows, "
+        f"crossover_m={loaded['summary'].get('crossover_m')})"
+    )
+
+    failures = 0
+    for path in args.check:
+        try:
+            checked = load_bench_json(path)
+        except ReproError as exc:
+            print(f"bench-smoke: INVALID {path}: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            print(
+                f"bench-smoke: ok {path} "
+                f"(bench={checked['bench']}, {len(checked['rows'])} rows)"
+            )
+    return 1 if failures else 0
+
+
 def cmd_serve_bench(args) -> int:
     """``repro serve-bench``: offered load vs batching policy sweep."""
     from repro.serve import BatchingPolicy, lp_pool, run_load, synthetic_stream
@@ -548,6 +623,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fuzz": cmd_fuzz,
         "replay": cmd_replay,
         "chaos": cmd_chaos,
+        "bench-smoke": cmd_bench_smoke,
         "serve-bench": cmd_serve_bench,
     }
     try:

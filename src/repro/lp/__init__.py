@@ -16,6 +16,11 @@ solvers from scratch on :mod:`repro.la`:
   §2.3 interior-point alternative).
 - :mod:`repro.lp.batch_simplex` — lockstep batched simplex advancing
   many small LPs SIMD-style (§5.5).
+- :mod:`repro.lp.pdhg` — restarted primal-dual hybrid gradient (the
+  PDLP recipe): the first-order engine the GPU-LP literature says is
+  the one that actually scales, with KKT-residual restarts/termination.
+- :mod:`repro.lp.pdhg_batch` — lockstep batched PDHG advancing many
+  node LPs per fused matvec sweep (one GEMM pair per iteration).
 
 `scipy.optimize.linprog` is used only in tests, as an oracle.
 """
@@ -26,6 +31,14 @@ from repro.lp.simplex import SimplexOptions, solve_lp, solve_standard_form
 from repro.lp.dual_simplex import dual_simplex_resolve
 from repro.lp.interior_point import interior_point_solve
 from repro.lp.batch_simplex import BatchLPResult, solve_lp_batch
+from repro.lp.pdhg import (
+    PDHGCostHook,
+    PDHGOptions,
+    PDHGResult,
+    solve_lp_pdhg,
+    solve_standard_form_pdhg,
+)
+from repro.lp.pdhg_batch import BatchPDHGResult, solve_lp_pdhg_batch
 from repro.lp.presolve import PresolveResult, presolve
 from repro.lp.scaling import equilibrate
 
@@ -41,6 +54,13 @@ __all__ = [
     "interior_point_solve",
     "solve_lp_batch",
     "BatchLPResult",
+    "PDHGOptions",
+    "PDHGCostHook",
+    "PDHGResult",
+    "solve_lp_pdhg",
+    "solve_standard_form_pdhg",
+    "BatchPDHGResult",
+    "solve_lp_pdhg_batch",
     "presolve",
     "PresolveResult",
     "equilibrate",

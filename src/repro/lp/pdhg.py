@@ -1,0 +1,653 @@
+"""Restarted primal-dual hybrid gradient (PDHG) for LP — the PDLP recipe.
+
+The related work is unambiguous about which LP algorithm actually scales
+on massively parallel hardware: not the simplex method with its serial
+pivot chain, but restarted PDHG, whose every iteration is two
+matrix-vector products plus elementwise work ("An Overview of GPU-based
+First-Order Methods for Linear Programming and Extensions"; "Batched
+First-Order Methods for Parallel LP Solving in MIP").  This module is
+that engine, built from scratch over the repo's dense data model:
+
+- the LP is posed as the saddle point  min_x max_y  ĉᵀx + yᵀ(q − Kx)
+  over the bound box and the dual cone (equality duals free, inequality
+  duals ≥ 0), where ĉ = −c converts the repo's maximization form;
+- Ruiz equilibration conditions K; the step size comes from a power
+  iteration on ‖K‖₂; τ = η/ω and σ = ηω split it by the primal weight ω;
+- the iterate *and its running average* are scored by relative KKT
+  residuals every ``check_every`` iterations; adaptive restarts reset
+  to the better candidate (sufficient decay 0.2 / necessary decay 0.8 /
+  artificial restart at 36% of total work — the PDLP schedule) and
+  rebalance ω from the primal/dual movement since the last restart;
+- termination is a *relative KKT certificate*: primal residual, dual
+  residual, and duality gap each below ``tolerance`` at their natural
+  scales — exactly the contract :func:`repro.check.certify_first_order_lp`
+  re-audits in exact rational arithmetic;
+- infeasibility/unboundedness are detected from the normalized iterate
+  displacement, which for diverging PDHG approximates a Farkas ray
+  (dual ray ⇒ primal infeasible, primal ray ⇒ unbounded); a ray must
+  validate on two consecutive checks before a status is declared.
+
+The optional :class:`PDHGCostHook` receives one callback per matvec
+sweep so a simulated device can charge the exact kernel stream a GPU
+implementation would launch (mirroring :class:`repro.lp.simplex.CostHook`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.lp.problem import LinearProgram, StandardFormLP
+from repro.lp.result import LPResult, LPStatus
+
+
+class PDHGCostHook:
+    """Receives one call per linear-algebra sweep of the PDHG loop.
+
+    The default implementation is a no-op; device-backed hooks (see
+    :class:`repro.strategies.pdhg_engine.PdhgDeviceHook`) charge the
+    corresponding kernels.  ``k`` is the number of LPs advancing in the
+    sweep (1 for the single-LP solver, the active batch size for
+    :mod:`repro.lp.pdhg_batch`).
+    """
+
+    def on_setup(self, k: int, m: int, n: int) -> None:
+        """One power-iteration step (a Kᵀ(K v) matvec pair)."""
+
+    def on_iteration(self, k: int, m: int, n: int) -> None:
+        """One PDHG iteration: Kᵀy, K x̄, and the elementwise updates."""
+
+    def on_check(self, k: int, m: int, n: int) -> None:
+        """One KKT evaluation: K x, Kᵀy, and the reductions."""
+
+
+NULL_PDHG_HOOK = PDHGCostHook()
+
+
+@dataclass
+class PDHGOptions:
+    """Tuning knobs for the restarted PDHG solver."""
+
+    #: Relative KKT tolerance (primal residual, dual residual, gap).
+    tolerance: float = 1e-8
+    #: Iteration cap; None derives ``4000 + 200·(m+n)`` from the shape.
+    max_iterations: Optional[int] = None
+    #: Iterations between KKT evaluations / restart decisions.
+    check_every: int = 40
+    #: Step size as a fraction of the stability bound 1/‖K‖₂.
+    step_size_scale: float = 0.9
+    #: Restart when the candidate KKT score decays below this factor.
+    restart_sufficient: float = 0.2
+    #: ... or below this factor once progress has stalled.
+    restart_necessary: float = 0.8
+    #: Artificial restart once the current span exceeds this fraction
+    #: of all iterations so far (keeps averages from going stale).
+    artificial_restart: float = 0.36
+    #: Log-space smoothing of the primal-weight update (PDLP's θ).
+    primal_weight_smoothing: float = 0.5
+    #: Ruiz equilibration sweeps applied to K before solving.
+    scaling_iterations: int = 10
+    #: Power-iteration steps for the ‖K‖₂ estimate.
+    power_iterations: int = 30
+    #: Attempt Farkas-ray infeasibility/unboundedness detection.
+    detect_rays: bool = True
+    #: Relative tolerance for validating a candidate ray.
+    ray_tolerance: float = 1e-6
+
+
+@dataclass
+class PDHGStats:
+    """Work counters of one PDHG solve."""
+
+    iterations: int = 0
+    restarts: int = 0
+    kkt_checks: int = 0
+    power_iterations: int = 0
+
+
+@dataclass
+class PDHGResult:
+    """Outcome of a PDHG solve, in the *original* LP's variable space.
+
+    Dual quantities use the **minimization saddle form** the solver works
+    in: rows ordered ``[a_eq; −a_ub]`` with equality duals free and
+    inequality duals ≥ 0, and reduced costs ``r = −c − Kᵀy``.  The
+    certificate auditor (:func:`repro.check.certify_first_order_lp`)
+    consumes exactly this convention.
+    """
+
+    status: LPStatus
+    #: Objective of the original (maximization) LP.
+    objective: float = np.nan
+    x: Optional[np.ndarray] = None
+    #: Saddle-form duals, rows ``[eq; ineq]`` (ineq duals ≥ 0).
+    y: Optional[np.ndarray] = None
+    #: Saddle-form reduced costs ĉ − Kᵀy.
+    reduced_costs: Optional[np.ndarray] = None
+    #: Relative KKT residuals at the returned point.
+    primal_residual: float = np.inf
+    dual_residual: float = np.inf
+    gap: float = np.inf
+    #: Saddle-form (minimization) primal and dual objective values.
+    primal_objective_min: float = np.nan
+    dual_objective_min: float = np.nan
+    stats: PDHGStats = field(default_factory=PDHGStats)
+
+    @property
+    def ok(self) -> bool:
+        """True when an eps-KKT point was reached."""
+        return self.status is LPStatus.OPTIMAL
+
+    @property
+    def iterations(self) -> int:
+        return self.stats.iterations
+
+    def upper_bound(self, pad_factor: float = 10.0) -> float:
+        """Tolerance-padded upper bound on the original LP's optimum.
+
+        ``max(primal, dual)`` objective (maximization form) plus a
+        ``pad_factor`` multiple of the residual scale — the bound the
+        branch-and-bound drivers prune with, so an eps-low PDHG value
+        can never cut off the true optimum within the declared gap.
+        """
+        p = self.objective
+        d = -self.dual_objective_min
+        scale = 1.0 + abs(p) + abs(d)
+        slack = pad_factor * max(self.gap, self.dual_residual, 0.0) * scale
+        return max(p, d) + slack
+
+
+@dataclass
+class _Saddle:
+    """The minimization saddle form PDHG iterates on."""
+
+    c_hat: np.ndarray  # (n,) minimize ĉᵀx
+    k: np.ndarray      # (m, n) rows [eq; ineq], ineq written as Gx ≥ h
+    q: np.ndarray      # (m,)
+    num_eq: int
+    lb: np.ndarray
+    ub: np.ndarray
+
+    @property
+    def m(self) -> int:
+        return self.k.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.k.shape[1]
+
+
+def saddle_from_lp(lp: LinearProgram) -> _Saddle:
+    """Pose a (maximization) :class:`LinearProgram` as the saddle form."""
+    blocks = []
+    rhs = []
+    num_eq = lp.num_eq_rows
+    if lp.a_eq is not None:
+        blocks.append(lp.a_eq)
+        rhs.append(lp.b_eq)
+    if lp.a_ub is not None:
+        # A_ub x ≤ b_ub  ⇔  (−A_ub) x ≥ (−b_ub): inequality duals ≥ 0.
+        blocks.append(-lp.a_ub)
+        rhs.append(-lp.b_ub)
+    n = lp.n
+    if blocks:
+        k = np.vstack(blocks)
+        q = np.concatenate(rhs)
+    else:
+        k = np.zeros((0, n))
+        q = np.zeros(0)
+    return _Saddle(
+        c_hat=-lp.c.astype(np.float64),
+        k=np.asarray(k, dtype=np.float64),
+        q=np.asarray(q, dtype=np.float64),
+        num_eq=num_eq,
+        lb=lp.lb.copy(),
+        ub=lp.ub.copy(),
+    )
+
+
+def ruiz_equilibrate(
+    k: np.ndarray, iterations: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Ruiz scaling: returns (d_row, d_col) with K̃ = D_r K D_c balanced."""
+    m, n = k.shape
+    d_row = np.ones(m)
+    d_col = np.ones(n)
+    if k.size == 0 or iterations <= 0:
+        return d_row, d_col
+    work = k.copy()
+    for _ in range(iterations):
+        row_max = np.max(np.abs(work), axis=1)
+        col_max = np.max(np.abs(work), axis=0)
+        row_scale = 1.0 / np.sqrt(np.where(row_max > 0, row_max, 1.0))
+        col_scale = 1.0 / np.sqrt(np.where(col_max > 0, col_max, 1.0))
+        work *= row_scale[:, None]
+        work *= col_scale[None, :]
+        d_row *= row_scale
+        d_col *= col_scale
+        if (
+            np.all(np.abs(1.0 - row_max[row_max > 0]) < 1e-3)
+            and np.all(np.abs(1.0 - col_max[col_max > 0]) < 1e-3)
+        ):
+            break
+    return d_row, d_col
+
+
+def power_iteration_norm(
+    k: np.ndarray,
+    iterations: int,
+    hook: PDHGCostHook = NULL_PDHG_HOOK,
+    batch: int = 1,
+) -> float:
+    """Deterministic power-iteration estimate of ‖K‖₂ (via KᵀK)."""
+    m, n = k.shape
+    if k.size == 0:
+        return 0.0
+    # Deterministic non-degenerate start (a seeded RNG would make solves
+    # depend on call order; a fixed ramp never does).
+    v = 1.0 + np.arange(n) / max(1, n)
+    v /= np.linalg.norm(v)
+    sigma = 0.0
+    for _ in range(iterations):
+        hook.on_setup(batch, m, n)
+        w = k.T @ (k @ v)
+        norm = np.linalg.norm(w)
+        if norm <= 1e-300:
+            return 0.0
+        sigma = np.sqrt(norm)
+        v = w / norm
+    return float(sigma)
+
+
+def _kkt(
+    s: _Saddle, x: np.ndarray, y: np.ndarray
+) -> Tuple[float, float, float, float, float]:
+    """Relative KKT residuals at (x, y) in the original (unscaled) data.
+
+    Returns ``(primal_res, dual_res, gap, p, d)`` where ``p``/``d`` are
+    the min-form primal/dual objectives.
+    """
+    kx = s.k @ x
+    resid = kx - s.q
+    if s.num_eq < s.m:
+        # Inequality rows Gx ≥ h: only violations below q count.
+        resid[s.num_eq:] = np.minimum(resid[s.num_eq:], 0.0)
+    q_scale = 1.0 + np.linalg.norm(s.q)
+    primal_res = float(np.linalg.norm(resid)) / q_scale
+
+    r = s.c_hat - s.k.T @ y
+    lb_fin = np.isfinite(s.lb)
+    ub_fin = np.isfinite(s.ub)
+    # A positive reduced cost is absorbed by a finite lower bound, a
+    # negative one by a finite upper bound; otherwise it is a violation.
+    viol = np.where(~ub_fin, np.maximum(-r, 0.0), 0.0)
+    viol += np.where(~lb_fin, np.maximum(r, 0.0), 0.0)
+    c_scale = 1.0 + np.linalg.norm(s.c_hat)
+    dual_res = float(np.linalg.norm(viol)) / c_scale
+
+    p = float(s.c_hat @ x)
+    d = float(s.q @ y)
+    pos = np.maximum(r, 0.0)
+    neg = np.minimum(r, 0.0)
+    if lb_fin.any():
+        d += float(s.lb[lb_fin] @ pos[lb_fin])
+    if ub_fin.any():
+        d += float(s.ub[ub_fin] @ neg[ub_fin])
+    gap = abs(p - d) / (1.0 + abs(p) + abs(d))
+    return primal_res, dual_res, gap, p, d
+
+
+def _score(primal_res: float, dual_res: float, gap: float) -> float:
+    return float(np.sqrt(primal_res**2 + dual_res**2 + gap**2))
+
+
+def _check_dual_ray(s: _Saddle, dy: np.ndarray, tol: float) -> bool:
+    """Farkas certificate of primal infeasibility from a dual direction.
+
+    ``ŷ`` (eq rows free, ineq rows ≥ 0) proves ``{lb ≤ x ≤ ub : Kx ⋛ q}``
+    empty when  sup_{lb≤x≤ub} ŷᵀKx < ŷᵀq.  The sup is finite only where
+    each component of ``r = Kᵀŷ`` is absorbed by a finite bound on its
+    side; the bounds then contribute ``Σ r⁺·ub + Σ r⁻·lb``.
+    """
+    ray = dy.copy()
+    if s.num_eq < s.m:
+        ray[s.num_eq:] = np.maximum(ray[s.num_eq:], 0.0)
+    norm = np.max(np.abs(ray)) if ray.size else 0.0
+    if norm <= 1e-12:
+        return False
+    ray /= norm
+    k_scale = max(1.0, float(np.max(np.abs(s.k)))) if s.k.size else 1.0
+    r = s.k.T @ ray
+    pos = r > tol * k_scale
+    neg = r < -tol * k_scale
+    if np.any(pos & ~np.isfinite(s.ub)) or np.any(neg & ~np.isfinite(s.lb)):
+        return False
+    support = 0.0
+    if pos.any():
+        support += float(r[pos] @ s.ub[pos])
+    if neg.any():
+        support += float(r[neg] @ s.lb[neg])
+    margin = float(s.q @ ray) - support
+    return margin > tol * (1.0 + np.linalg.norm(s.q))
+
+
+def _check_primal_ray(s: _Saddle, dx: np.ndarray, tol: float) -> bool:
+    """Certificate of unboundedness (min form: ĉᵀdx < 0 along a ray)."""
+    ray = dx.copy()
+    lb_fin = np.isfinite(s.lb)
+    ub_fin = np.isfinite(s.ub)
+    # Project onto the box's recession cone.
+    ray[lb_fin & ub_fin] = 0.0
+    ray[lb_fin & ~ub_fin] = np.maximum(ray[lb_fin & ~ub_fin], 0.0)
+    ray[~lb_fin & ub_fin] = np.minimum(ray[~lb_fin & ub_fin], 0.0)
+    norm = np.max(np.abs(ray)) if ray.size else 0.0
+    if norm <= 1e-12:
+        return False
+    ray /= norm
+    k_scale = max(1.0, float(np.max(np.abs(s.k)))) if s.k.size else 1.0
+    kd = s.k @ ray
+    if s.num_eq and np.max(np.abs(kd[: s.num_eq]), initial=0.0) > tol * k_scale:
+        return False
+    if s.num_eq < s.m and np.min(kd[s.num_eq:], initial=0.0) < -tol * k_scale:
+        return False
+    descent = float(s.c_hat @ ray)
+    return descent < -tol * (1.0 + np.linalg.norm(s.c_hat))
+
+
+def _solve_box_only(s: _Saddle) -> PDHGResult:
+    """Closed form for LPs with no constraint rows (box only)."""
+    x = np.where(s.c_hat > 0, s.lb, np.where(s.c_hat < 0, s.ub, 0.0))
+    x = np.clip(np.where(np.isfinite(x), x, 0.0), s.lb, s.ub)
+    unbounded = ((s.c_hat > 0) & ~np.isfinite(s.lb)) | (
+        (s.c_hat < 0) & ~np.isfinite(s.ub)
+    )
+    if unbounded.any():
+        return PDHGResult(status=LPStatus.UNBOUNDED)
+    p = float(s.c_hat @ x)
+    return PDHGResult(
+        status=LPStatus.OPTIMAL,
+        objective=-p,
+        x=x,
+        y=np.zeros(s.m),
+        reduced_costs=s.c_hat.copy(),
+        primal_residual=0.0,
+        dual_residual=0.0,
+        gap=0.0,
+        primal_objective_min=p,
+        dual_objective_min=p,
+    )
+
+
+def solve_saddle_pdhg(
+    s: _Saddle,
+    options: Optional[PDHGOptions] = None,
+    hook: PDHGCostHook = NULL_PDHG_HOOK,
+    initial: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> PDHGResult:
+    """Run restarted PDHG on a prepared saddle form."""
+    options = options or PDHGOptions()
+    if np.any(s.lb > s.ub):
+        return PDHGResult(status=LPStatus.INFEASIBLE)
+    if s.m == 0 or not np.any(s.k):
+        base = _solve_box_only(s)
+        if base.status is LPStatus.OPTIMAL and s.m:
+            # Zero-matrix rows constrain nothing but their rhs must hold.
+            bad_eq = s.num_eq and np.max(np.abs(s.q[: s.num_eq]), initial=0.0) > 0
+            bad_ineq = s.num_eq < s.m and np.max(s.q[s.num_eq:], initial=0.0) > 0
+            if bad_eq or bad_ineq:
+                return PDHGResult(status=LPStatus.INFEASIBLE)
+        return base
+
+    stats = PDHGStats()
+    m, n = s.m, s.n
+    max_iterations = options.max_iterations
+    if max_iterations is None:
+        max_iterations = 4000 + 200 * (m + n)
+
+    d_row, d_col = ruiz_equilibrate(s.k, options.scaling_iterations)
+    ks = s.k * d_row[:, None] * d_col[None, :]
+    qs = s.q * d_row
+    cs = s.c_hat * d_col
+    lbs = s.lb / d_col
+    ubs = s.ub / d_col
+
+    norm_k = power_iteration_norm(ks, options.power_iterations, hook)
+    stats.power_iterations = options.power_iterations
+    if norm_k <= 0.0:
+        norm_k = 1.0
+    eta = options.step_size_scale / norm_k
+
+    c_norm = np.linalg.norm(cs)
+    q_norm = np.linalg.norm(qs)
+    omega = c_norm / q_norm if c_norm > 1e-12 and q_norm > 1e-12 else 1.0
+
+    if initial is not None:
+        x = np.clip(np.asarray(initial[0], dtype=np.float64) / d_col, lbs, ubs)
+        y = np.asarray(initial[1], dtype=np.float64) / d_row
+        if s.num_eq < m:
+            y[s.num_eq:] = np.maximum(y[s.num_eq:], 0.0)
+    else:
+        x = np.clip(np.zeros(n), lbs, ubs)
+        y = np.zeros(m)
+
+    def unscale(xv: np.ndarray, yv: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return xv * d_col, yv * d_row
+
+    eps = options.tolerance
+    ray_tol = options.ray_tolerance
+
+    # Restart-span state.
+    x_anchor, y_anchor = x.copy(), y.copy()      # span start (scaled)
+    x_prev_anchor, y_prev_anchor = x.copy(), y.copy()
+    sum_x, sum_y = np.zeros(n), np.zeros(m)
+    navg = 0
+    span_start_iter = 0
+    pr0, dr0, gp0, _, _ = _kkt(s, *unscale(x, y))
+    stats.kkt_checks += 1
+    hook.on_check(1, m, n)
+    score_at_restart = _score(pr0, dr0, gp0)
+    last_candidate_score = np.inf
+    ray_streak_infeasible = 0
+    ray_streak_unbounded = 0
+
+    best: Optional[PDHGResult] = None
+    status = LPStatus.ITERATION_LIMIT
+
+    def make_result(
+        st: LPStatus, xv: np.ndarray, yv: np.ndarray,
+        pr: float, dr: float, gp: float, p: float, d: float,
+    ) -> PDHGResult:
+        r = s.c_hat - s.k.T @ yv
+        return PDHGResult(
+            status=st,
+            objective=-p,
+            x=xv,
+            y=yv,
+            reduced_costs=r,
+            primal_residual=pr,
+            dual_residual=dr,
+            gap=gp,
+            primal_objective_min=p,
+            dual_objective_min=d,
+            stats=stats,
+        )
+
+    tau = eta / omega
+    sigma = eta * omega
+    while stats.iterations < max_iterations:
+        steps = min(options.check_every, max_iterations - stats.iterations)
+        for _ in range(steps):
+            hook.on_iteration(1, m, n)
+            x_new = np.clip(x - tau * (cs - ks.T @ y), lbs, ubs)
+            y = y + sigma * (qs - ks @ (2.0 * x_new - x))
+            if s.num_eq < m:
+                y[s.num_eq:] = np.maximum(y[s.num_eq:], 0.0)
+            x = x_new
+            sum_x += x
+            sum_y += y
+            navg += 1
+            stats.iterations += 1
+
+        # Score the current iterate and the span average, in original data.
+        candidates = [(x, y)]
+        if navg > 1:
+            candidates.append((sum_x / navg, sum_y / navg))
+        scored = []
+        for xv, yv in candidates:
+            xo, yo = unscale(xv, yv)
+            pr, dr, gp, p, d = _kkt(s, xo, yo)
+            stats.kkt_checks += 1
+            hook.on_check(1, m, n)
+            scored.append((_score(pr, dr, gp), xv, yv, xo, yo, pr, dr, gp, p, d))
+        scored.sort(key=lambda t: t[0])
+        (score, xv, yv, xo, yo, pr, dr, gp, p, d) = scored[0]
+
+        if pr <= eps and dr <= eps and gp <= eps:
+            status = LPStatus.OPTIMAL
+            best = make_result(status, xo, yo, pr, dr, gp, p, d)
+            break
+
+        # Farkas-ray detection from the displacement over this span.
+        if options.detect_rays:
+            dx = x - x_anchor
+            dy = y - y_anchor
+            dxo, dyo = unscale(dx, dy)
+            if _check_dual_ray(s, dyo, ray_tol):
+                ray_streak_infeasible += 1
+            else:
+                ray_streak_infeasible = 0
+            if _check_primal_ray(s, dxo, ray_tol):
+                ray_streak_unbounded += 1
+            else:
+                ray_streak_unbounded = 0
+            if ray_streak_infeasible >= 2:
+                status = LPStatus.INFEASIBLE
+                best = PDHGResult(status=status, stats=stats)
+                break
+            if ray_streak_unbounded >= 2:
+                status = LPStatus.UNBOUNDED
+                best = PDHGResult(status=status, stats=stats)
+                break
+
+        span_len = stats.iterations - span_start_iter
+        do_restart = (
+            score <= options.restart_sufficient * score_at_restart
+            or (
+                score <= options.restart_necessary * score_at_restart
+                and score > last_candidate_score
+            )
+            or span_len >= options.artificial_restart * max(stats.iterations, 1)
+        )
+        last_candidate_score = score
+
+        if do_restart:
+            stats.restarts += 1
+            obs.event(
+                "lp.pdhg.restart", category="lp",
+                iteration=stats.iterations, score=score,
+            )
+            x, y = xv.copy(), yv.copy()
+            # Rebalance the primal weight from the span's movement.
+            dx_norm = np.linalg.norm(x - x_prev_anchor)
+            dy_norm = np.linalg.norm(y - y_prev_anchor)
+            if dx_norm > 1e-12 and dy_norm > 1e-12:
+                theta = options.primal_weight_smoothing
+                omega = float(
+                    np.exp(
+                        theta * np.log(dy_norm / dx_norm)
+                        + (1.0 - theta) * np.log(omega)
+                    )
+                )
+                tau = eta / omega
+                sigma = eta * omega
+            x_prev_anchor, y_prev_anchor = x.copy(), y.copy()
+            x_anchor, y_anchor = x.copy(), y.copy()
+            sum_x[:] = 0.0
+            sum_y[:] = 0.0
+            navg = 0
+            span_start_iter = stats.iterations
+            score_at_restart = score
+            last_candidate_score = np.inf
+
+        best = make_result(LPStatus.ITERATION_LIMIT, xo, yo, pr, dr, gp, p, d)
+
+    if best is None:  # max_iterations == 0 edge case
+        xo, yo = unscale(x, y)
+        pr, dr, gp, p, d = _kkt(s, xo, yo)
+        best = make_result(LPStatus.ITERATION_LIMIT, xo, yo, pr, dr, gp, p, d)
+    return best
+
+
+def solve_lp_pdhg(
+    lp: LinearProgram,
+    options: Optional[PDHGOptions] = None,
+    hook: PDHGCostHook = NULL_PDHG_HOOK,
+    initial: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> PDHGResult:
+    """Solve a (maximization) :class:`LinearProgram` by restarted PDHG.
+
+    Bounds are handled natively as projections — no slack rows, no
+    variable splitting — so the iteration works on the original (m, n)
+    shape, which is what makes the batched variant one fused GEMM.
+    """
+    with obs.span("lp.pdhg", category="lp", m=lp.num_ub_rows + lp.num_eq_rows, n=lp.n) as sp:
+        result = solve_saddle_pdhg(saddle_from_lp(lp), options, hook, initial)
+        sp.set(
+            status=result.status.value,
+            iterations=result.stats.iterations,
+            restarts=result.stats.restarts,
+        )
+        return result
+
+
+def solve_standard_form_pdhg(
+    sf: StandardFormLP,
+    options: Optional[PDHGOptions] = None,
+    hook: PDHGCostHook = NULL_PDHG_HOOK,
+    initial: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> LPResult:
+    """Solve an equality-form LP (``max cᵀx, Ax = b, x ≥ 0``) by PDHG.
+
+    Returns the :class:`repro.lp.result.LPResult` shape the node-LP
+    engines consume: ``x_standard`` for postsolve, maximization-form
+    standard duals in ``duals`` (so the existing duality certificates
+    apply with an explicit first-order tolerance), ``basis=None``
+    (first-order methods carry no basis), and the rich
+    :class:`PDHGResult` under ``first_order``.
+    """
+    s = _Saddle(
+        c_hat=-sf.c.astype(np.float64),
+        k=sf.a,
+        q=sf.b,
+        num_eq=sf.m,
+        lb=np.zeros(sf.n),
+        ub=np.full(sf.n, np.inf),
+    )
+    with obs.span("lp.pdhg", category="lp", m=sf.m, n=sf.n) as sp:
+        res = solve_saddle_pdhg(s, options, hook, initial)
+        sp.set(
+            status=res.status.value,
+            iterations=res.stats.iterations,
+            restarts=res.stats.restarts,
+        )
+    if res.status is not LPStatus.OPTIMAL:
+        out = LPResult(status=res.status, iterations=res.stats.iterations)
+        out.first_order = res
+        return out
+    x_standard = res.x
+    objective = sf.objective_value(x_standard)
+    out = LPResult(
+        status=LPStatus.OPTIMAL,
+        objective=objective,
+        x=sf.recover_x(x_standard),
+        # Max-form standard duals: the min-form saddle duals negated.
+        duals=-res.y,
+        iterations=res.stats.iterations,
+        basis=None,
+        x_standard=x_standard,
+    )
+    out.first_order = res
+    return out

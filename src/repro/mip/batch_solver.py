@@ -12,6 +12,13 @@ model reflects the batching.  Search results match the serial solver's
 optimum; the explored node count may differ slightly because a whole
 round is launched before its results can prune each other — the real
 trade-off a batched B&B accepts.
+
+With ``lp_engine="pdhg"`` the round instead advances all live node LPs
+in one lockstep first-order batch (:mod:`repro.lp.pdhg_batch`) — two
+fused GEMMs per sweep for the whole frontier.  Bounds are then
+tolerance-padded (:meth:`repro.lp.pdhg.PDHGResult.upper_bound`) so
+pruning stays safe, and any member short of eps-KKT OPTIMAL re-solves
+through the exact simplex path.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ from repro.device.gpu import Device
 from repro.device.spec import V100, DeviceSpec
 from repro.errors import LPError
 from repro.lp.dual_simplex import dual_simplex_resolve
+from repro.lp.pdhg import PDHGOptions
+from repro.lp.pdhg_batch import batch_compatible, solve_lp_pdhg_batch_on_device
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.simplex import SimplexOptions, solve_standard_form
 from repro.mip.problem import MIPProblem
@@ -43,10 +52,35 @@ class BatchedSolverOptions:
     mip_gap: float = 1e-6
     simplex: SimplexOptions = None
     warm_start: bool = True
+    #: Node relaxation engine: "simplex" (exact, batched kernel charge)
+    #: or "pdhg" (lockstep batched first-order sweeps — the whole round
+    #: is two fused GEMMs per iteration; non-OPTIMAL members fall back
+    #: to exact simplex so statuses stay vertex-grade).
+    lp_engine: str = "simplex"
+    pdhg: PDHGOptions = None
 
     def __post_init__(self):
         if self.simplex is None:
             self.simplex = SimplexOptions()
+        if self.pdhg is None:
+            self.pdhg = PDHGOptions()
+
+
+@dataclass
+class _NodeOutcome:
+    """One node relaxation, normalized across LP engines.
+
+    ``bound`` is what the search prunes with: the exact LP objective for
+    simplex nodes, the tolerance-padded :meth:`PDHGResult.upper_bound`
+    for first-order nodes (so an eps-low value can never cut off the
+    true optimum).  ``x`` is always in the original variable space.
+    """
+
+    status: LPStatus
+    bound: float
+    x: Optional[np.ndarray]
+    iterations: int
+    basis: Optional[np.ndarray] = None
 
 
 class BatchedNodeSolver:
@@ -111,35 +145,25 @@ class BatchedNodeSolver:
             if not live:
                 continue
 
-            results: List[Tuple[int, LPResult, object]] = []
-            max_iters = 0
-            m = n = 0
-            for node_id in live:
-                node = tree.node(node_id)
-                sf = tree.node_problem(node_id).to_standard_form()
-                m, n = sf.m, sf.n
-                res = self._solve_node(sf, tree, node)
-                max_iters = max(max_iters, res.iterations)
-                results.append((node_id, res, sf))
-            self._charge_round(len(live), m, n, max_iters)
+            outcomes = self._solve_round(live, tree)
             self.rounds += 1
 
-            for node_id, res, sf in results:
+            for node_id, out in zip(live, outcomes):
                 node = tree.node(node_id)
                 self.stats.nodes_processed += 1
-                self.stats.lp_iterations += res.iterations
-                if res.status is LPStatus.INFEASIBLE:
+                self.stats.lp_iterations += out.iterations
+                if out.status is LPStatus.INFEASIBLE:
                     node.tag = NodeTag.INFEASIBLE
                     continue
-                if res.status is not LPStatus.OPTIMAL:
+                if out.status is not LPStatus.OPTIMAL:
                     node.tag = NodeTag.PRUNED  # conservative close-out
                     continue
-                node.lp_bound = res.objective
-                node.warm_basis = res.basis
-                if self._dominated(res.objective, incumbent_obj):
+                node.lp_bound = out.bound
+                node.warm_basis = out.basis
+                if self._dominated(out.bound, incumbent_obj):
                     node.tag = NodeTag.PRUNED
                     continue
-                x = sf.recover_x(res.x_standard)
+                x = out.x
                 fractional = problem.fractional_integers(x)
                 if fractional.size == 0:
                     node.tag = NodeTag.FEASIBLE
@@ -189,6 +213,104 @@ class BatchedNodeSolver:
         )
 
     # -- helpers ---------------------------------------------------------------------
+
+    def _solve_round(self, live: List[int], tree: BBTree) -> List[_NodeOutcome]:
+        """Solve one round of live nodes with the configured LP engine."""
+        if self.options.lp_engine == "pdhg":
+            outcomes = self._solve_round_pdhg(live, tree)
+            if outcomes is not None:
+                return outcomes
+        return self._solve_round_simplex(live, tree)
+
+    def _solve_round_simplex(
+        self, live: List[int], tree: BBTree
+    ) -> List[_NodeOutcome]:
+        outcomes: List[_NodeOutcome] = []
+        max_iters = 0
+        m = n = 0
+        for node_id in live:
+            node = tree.node(node_id)
+            sf = tree.node_problem(node_id).to_standard_form()
+            m, n = sf.m, sf.n
+            res = self._solve_node(sf, tree, node)
+            max_iters = max(max_iters, res.iterations)
+            x = (
+                sf.recover_x(res.x_standard)
+                if res.status is LPStatus.OPTIMAL
+                else None
+            )
+            outcomes.append(
+                _NodeOutcome(
+                    status=res.status,
+                    bound=res.objective,
+                    x=x,
+                    iterations=res.iterations,
+                    basis=res.basis,
+                )
+            )
+        self._charge_round(len(live), m, n, max_iters)
+        return outcomes
+
+    def _solve_round_pdhg(
+        self, live: List[int], tree: BBTree
+    ) -> Optional[List[_NodeOutcome]]:
+        """One lockstep batched-PDHG round; None defers to simplex.
+
+        Sibling node LPs differ only in variable bounds, so the batch is
+        (in practice always) shape-compatible and shares K — the whole
+        round's matvecs fuse into two GEMMs per sweep.  Members that end
+        anywhere short of eps-KKT OPTIMAL re-solve through the exact
+        simplex path, keeping every status vertex-grade.
+        """
+        lps = [tree.node_problem(node_id) for node_id in live]
+        if not batch_compatible(lps):
+            return None
+        batch = solve_lp_pdhg_batch_on_device(
+            lps, self.device, options=self.options.pdhg
+        )
+        self.device.metrics.inc("pdhg.batch_rounds")
+        outcomes: List[Optional[_NodeOutcome]] = []
+        fallback: List[int] = []
+        for i, status in enumerate(batch.statuses):
+            if status is LPStatus.OPTIMAL:
+                self.device.metrics.inc("pdhg.node_solves")
+                outcomes.append(
+                    _NodeOutcome(
+                        status=LPStatus.OPTIMAL,
+                        bound=float(batch.bounds[i]),
+                        # Box feasibility is only eps-accurate; clamp so
+                        # branching on x can't step outside node bounds.
+                        x=np.clip(batch.x[i], lps[i].lb, lps[i].ub),
+                        iterations=int(batch.member_iterations[i]),
+                    )
+                )
+            else:
+                outcomes.append(None)
+                fallback.append(i)
+        if fallback:
+            self.device.metrics.inc("pdhg.fallbacks", len(fallback))
+            max_iters = 0
+            m = n = 0
+            for i in fallback:
+                node = tree.node(live[i])
+                sf = lps[i].to_standard_form()
+                m, n = sf.m, sf.n
+                res = self._solve_node(sf, tree, node)
+                max_iters = max(max_iters, res.iterations)
+                x = (
+                    sf.recover_x(res.x_standard)
+                    if res.status is LPStatus.OPTIMAL
+                    else None
+                )
+                outcomes[i] = _NodeOutcome(
+                    status=res.status,
+                    bound=res.objective,
+                    x=x,
+                    iterations=res.iterations,
+                    basis=res.basis,
+                )
+            self._charge_round(len(fallback), m, n, max_iters)
+        return outcomes
 
     def _solve_node(self, sf, tree: BBTree, node) -> LPResult:
         warm = None

@@ -27,6 +27,7 @@ from repro.config import DEFAULT_CONFIG, Config
 from repro.errors import LPError, MIPError, SolverCrashError
 from repro.faults.injector import active as fault_active
 from repro.lp.dual_simplex import dual_simplex_resolve
+from repro.lp.pdhg import NULL_PDHG_HOOK, PDHGCostHook, PDHGOptions, solve_standard_form_pdhg
 from repro.lp.problem import StandardFormLP
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.simplex import SimplexOptions, solve_standard_form
@@ -51,8 +52,23 @@ class ExecutionEngine:
     transfers.
     """
 
-    def __init__(self, simplex_options: Optional[SimplexOptions] = None):
+    def __init__(
+        self,
+        simplex_options: Optional[SimplexOptions] = None,
+        node_lp: str = "simplex",
+        pdhg_options: Optional[PDHGOptions] = None,
+    ):
         self.simplex_options = simplex_options or SimplexOptions()
+        #: Node-relaxation engine: "simplex" (exact vertex solves) or
+        #: "pdhg" (restarted first-order solves with tolerance-padded
+        #: bounds; non-optimal PDHG outcomes fall back to simplex so
+        #: INFEASIBLE/UNBOUNDED statuses stay exact).
+        self.node_lp = node_lp
+        self.pdhg_options = pdhg_options or PDHGOptions()
+        #: (m, n) → (x, y) iterates for first-order warm starts.
+        self._pdhg_warm: dict = {}
+        #: First-order work counters (exposed in engine reports).
+        self.pdhg_stats = {"solves": 0, "fallbacks": 0, "iterations": 0, "restarts": 0}
 
     # -- lifecycle hooks ------------------------------------------------------
 
@@ -74,6 +90,10 @@ class ExecutionEngine:
         probe: bool = False,
     ) -> LPResult:
         """Solve a node relaxation, warm when a parent basis is usable."""
+        if self.node_lp == "pdhg" and not probe:
+            res = self._pdhg_relaxation(sf)
+            if res is not None:
+                return res
         if warm_basis is not None:
             try:
                 return dual_simplex_resolve(
@@ -90,6 +110,38 @@ class ExecutionEngine:
                 config=options.config,
             )
         return solve_standard_form(sf, options=options)
+
+    def _pdhg_relaxation(
+        self, sf: StandardFormLP, hook: PDHGCostHook = NULL_PDHG_HOOK
+    ) -> Optional[LPResult]:
+        """One first-order node solve; None tells the caller to use simplex.
+
+        Policy (see ``docs/first_order_lp.md``): only an eps-KKT OPTIMAL
+        outcome is trusted.  Its reported ``objective`` is replaced by the
+        tolerance-padded upper bound (``PDHGResult.upper_bound`` plus the
+        standard-form offset) so pruning against an incumbent can never
+        cut off the true optimum; INFEASIBLE/UNBOUNDED/ITERATION_LIMIT
+        outcomes are re-derived by the exact simplex fallback, keeping
+        those statuses vertex-grade.  Warm starts reuse the last optimal
+        (x, y) pair of the same standard-form shape — sibling nodes differ
+        only in bounds, so the parent's saddle point is a good start.
+        """
+        initial = self._pdhg_warm.get((sf.m, sf.n))
+        res = solve_standard_form_pdhg(sf, self.pdhg_options, hook=hook, initial=initial)
+        stats = self.pdhg_stats
+        stats["solves"] += 1
+        stats["iterations"] += res.iterations
+        if res.first_order is not None:
+            stats["restarts"] += res.first_order.stats.restarts
+        if res.status is not LPStatus.OPTIMAL:
+            stats["fallbacks"] += 1
+            return None
+        self._pdhg_warm[(sf.m, sf.n)] = (
+            res.x_standard.copy(),
+            (-res.duals).copy(),
+        )
+        res.objective = res.first_order.upper_bound() + sf.offset
+        return res
 
     def resolve_after_cuts(
         self,
@@ -131,6 +183,11 @@ class SolverOptions:
     mip_gap: float = 1e-6
     keep_tree: bool = False
     simplex: SimplexOptions = field(default_factory=SimplexOptions)
+    #: Node-relaxation engine for the default host engine: "simplex"
+    #: or "pdhg" (engines passed explicitly keep their own setting).
+    node_lp: str = "simplex"
+    #: First-order options when ``node_lp == "pdhg"``.
+    pdhg: PDHGOptions = field(default_factory=PDHGOptions)
     config: Config = field(default_factory=lambda: DEFAULT_CONFIG)
     #: Warm-start children from the parent basis (§5.3 reuse).
     warm_start: bool = True
@@ -161,7 +218,11 @@ class BranchAndBoundSolver:
     ):
         self.problem = problem
         self.options = options or SolverOptions()
-        self.engine = engine or ExecutionEngine(self.options.simplex)
+        self.engine = engine or ExecutionEngine(
+            self.options.simplex,
+            node_lp=self.options.node_lp,
+            pdhg_options=self.options.pdhg,
+        )
         self.stats = MIPStats()
         self._tol = self.options.config.tolerances
 
@@ -235,7 +296,8 @@ class BranchAndBoundSolver:
                     self.stats.matrix_switches += 1
             last_node = node_id
 
-            sf = tree.node_problem(node_id).to_standard_form()
+            node_lp = tree.node_problem(node_id)
+            sf = node_lp.to_standard_form()
             warm = None
             if options.warm_start and node.parent_id is not None:
                 warm = tree.node(node.parent_id).warm_basis
@@ -272,7 +334,10 @@ class BranchAndBoundSolver:
                 node.tag = NodeTag.PRUNED
                 return None
 
-            x = sf.recover_x(res.x_standard)
+            # First-order node solves are box-feasible only to eps; clamp
+            # into the node's bounds so branching can never create a
+            # child with ceil(value) above the variable's upper bound.
+            x = np.clip(sf.recover_x(res.x_standard), node_lp.lb, node_lp.ub)
             fractional = problem.fractional_integers(x)
 
             # Cut rounds (branch-and-cut, §5.2) at shallow nodes.
@@ -285,7 +350,9 @@ class BranchAndBoundSolver:
                 if res_cut is not None:
                     res = res_cut
                     node.lp_bound = min(node.lp_bound, res.objective)
-                    x = sf_cut.recover_x(res.x_standard)
+                    x = np.clip(
+                        sf_cut.recover_x(res.x_standard), node_lp.lb, node_lp.ub
+                    )
                     fractional = problem.fractional_integers(x)
                     if self._dominated(node.lp_bound, incumbent_obj):
                         node.tag = NodeTag.PRUNED

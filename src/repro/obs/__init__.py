@@ -13,7 +13,10 @@ solve and per request):
   legacy :class:`repro.metrics.Metrics` adapter;
 - **exporters** (:mod:`repro.obs.export`): Chrome-trace JSON (loadable
   in ``about://tracing`` / Perfetto), a JSON-lines event log, and
-  summary rows rendered by :func:`repro.reporting.render_trace`.
+  summary rows rendered by :func:`repro.reporting.render_trace`;
+- **benchmark artifacts** (:mod:`repro.obs.bench`): the machine-readable
+  JSON schema the benchmarks export (``BENCH_*.json``) and the CI
+  ``bench-smoke`` job validates.
 
 Typical use::
 
@@ -24,6 +27,13 @@ Typical use::
     obs.write_chrome_trace(tracer, "solve-trace.json")
 """
 
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_payload,
+    load_bench_json,
+    validate_bench_payload,
+    write_bench_json,
+)
 from repro.obs.export import (
     load_trace,
     summarize_spans,
@@ -74,6 +84,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "percentile_of",
+    "BENCH_SCHEMA_VERSION",
+    "bench_payload",
+    "load_bench_json",
+    "validate_bench_payload",
+    "write_bench_json",
     "load_trace",
     "summarize_spans",
     "summarize_trace_file",

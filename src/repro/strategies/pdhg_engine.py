@@ -1,0 +1,97 @@
+"""Metered strategy engines running PDHG node relaxations.
+
+The §5 strategies all drive the *simplex* kernel stream — factorization,
+triangular solves, pricing — whose serial depth is what makes small node
+LPs latency-bound on a GPU.  :class:`PdhgEngine` swaps the node LP for
+the restarted first-order engine (:mod:`repro.lp.pdhg`): per iteration
+it launches exactly two matvec kernels plus elementwise updates, the
+stream the GPU-LP literature builds PDLP from.
+
+Two registry entries use it (see :mod:`repro.strategies.registry`):
+
+- ``"pdhg_gpu"`` — node LPs as PDHG kernel streams on the simulated
+  V100;
+- ``"pdhg"`` — the same algorithm priced on the host CPU, which is also
+  the degradation target of ``"pdhg_gpu"``, giving the required chain
+  pdhg_gpu → pdhg → direct with a CPU fallback in the middle.
+
+Correctness policy is inherited from
+:meth:`repro.mip.solver.ExecutionEngine._pdhg_relaxation`: only eps-KKT
+OPTIMAL outcomes are used (with tolerance-padded bounds); anything else
+re-solves through the engine's metered simplex, so statuses stay exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.device import kernels as K
+from repro.device.gpu import Device
+from repro.device.spec import CPU_HOST, DeviceSpec
+from repro.lp.pdhg import PDHGCostHook, PDHGOptions
+from repro.lp.result import LPResult
+from repro.lp.simplex import SimplexOptions
+from repro.strategies.engine import MeteredEngine
+
+
+class PdhgDeviceHook(PDHGCostHook):
+    """Charge the PDHG kernel stream of one node LP to a device.
+
+    One iteration = the ``Kᵀy`` / ``Kx̄`` matvec pair plus the two
+    elementwise updates; a KKT check adds a matvec pair and a reduction.
+    No factorizations, no triangular solves — no ``serial_depth=m``
+    kernels at all, which is the whole point.
+    """
+
+    def __init__(self, device: Device):
+        self.device = device
+
+    def _matvec_pair(self, k: int, m: int, n: int) -> None:
+        self.device._charge(K.gemv_kernel(n, m), None)
+        self.device._charge(K.gemv_kernel(m, n), None)
+
+    def on_setup(self, k: int, m: int, n: int) -> None:
+        self._matvec_pair(k, m, n)
+
+    def on_iteration(self, k: int, m: int, n: int) -> None:
+        self._matvec_pair(k, m, n)
+        self.device._charge(K.axpy_kernel(n), None)
+        self.device._charge(K.axpy_kernel(m), None)
+
+    def on_check(self, k: int, m: int, n: int) -> None:
+        self._matvec_pair(k, m, n)
+        self.device._charge(K.dot_kernel(max(m, n)), None)
+
+
+class PdhgEngine(MeteredEngine):
+    """Metered engine whose node LPs run restarted PDHG."""
+
+    name = "pdhg"
+
+    def __init__(
+        self,
+        spec: DeviceSpec = CPU_HOST,
+        simplex_options: Optional[SimplexOptions] = None,
+        pdhg_options: Optional[PDHGOptions] = None,
+        cut_generation: str = "cpu",
+    ):
+        super().__init__(spec, simplex_options, cut_generation)
+        self.node_lp = "pdhg"
+        self.pdhg_options = pdhg_options or PDHGOptions()
+        self._pdhg_hook = PdhgDeviceHook(self.device)
+
+    def solve_relaxation(self, sf, warm_basis=None, probe=False) -> LPResult:
+        # Probes (strong branching) want cheap truncated exact solves;
+        # everything else tries the first-order engine first.
+        if not probe:
+            res = self._pdhg_relaxation(sf, hook=self._pdhg_hook)
+            if res is not None:
+                return res
+            self.device.metrics.inc("pdhg.fallbacks")
+        return super().solve_relaxation(sf, warm_basis=warm_basis, probe=probe)
+
+    def end_search(self) -> None:
+        # Surface the first-order work counters next to the kernel counts.
+        for key, value in self.pdhg_stats.items():
+            self.device.metrics.counters[f"pdhg.{key}"] = value
+        super().end_search()

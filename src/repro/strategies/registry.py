@@ -12,7 +12,10 @@ Names registered by default:
 - ``"direct"`` — exact host-side :class:`~repro.mip.solver.ExecutionEngine`
   with no simulated device costs;
 - ``"gpu_only"``, ``"cpu_orchestrated"``, ``"hybrid"``, ``"big_mip_4"``
-  — the paper's §5 strategies (metered devices).
+  — the paper's §5 strategies (metered devices);
+- ``"pdhg"``, ``"pdhg_gpu"`` — restarted first-order node LPs
+  (:mod:`repro.strategies.pdhg_engine`), degrading
+  pdhg_gpu → pdhg → direct so the chain passes through a CPU host.
 
 ``register_strategy`` lets experiments add their own factories;
 re-registering an existing name requires ``overwrite=True`` so typos
@@ -92,10 +95,12 @@ def describe_strategies() -> Dict[str, str]:
 
 def _register_builtins() -> None:
     # Imported lazily so the registry module stays import-light.
+    from repro.device.spec import CPU_HOST, V100
     from repro.strategies.big_mip import BigMipEngine
     from repro.strategies.cpu_orchestrated import CpuOrchestratedEngine
     from repro.strategies.gpu_only import GpuOnlyEngine
     from repro.strategies.hybrid import HybridEngine
+    from repro.strategies.pdhg_engine import PdhgEngine
 
     register_strategy(
         "direct",
@@ -125,6 +130,18 @@ def _register_builtins() -> None:
         lambda opts: BigMipEngine(num_devices=4, simplex_options=opts),
         "one big MIP spread across 4 devices (strategy 4)",
         fallback="hybrid",
+    )
+    register_strategy(
+        "pdhg",
+        lambda opts: PdhgEngine(spec=CPU_HOST, simplex_options=opts),
+        "restarted first-order (PDHG) node LPs priced on the host CPU",
+        fallback="direct",
+    )
+    register_strategy(
+        "pdhg_gpu",
+        lambda opts: PdhgEngine(spec=V100, simplex_options=opts),
+        "restarted first-order (PDHG) node LPs as fused matvec kernels on a V100",
+        fallback="pdhg",
     )
 
 

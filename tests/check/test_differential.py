@@ -4,7 +4,7 @@ detection on contrived contradictions."""
 import pytest
 
 from repro.check import DifferentialReport, SolverRun, differential_lp, differential_mip
-from repro.check.differential import DIFFERENTIAL_RTOL
+from repro.check.differential import DIFFERENTIAL_RTOL, PDHG_DIFFERENTIAL_EPS
 from repro.errors import SolverDisagreement
 from repro.problems.knapsack import generate_knapsack
 from repro.problems.random_mip import generate_random_mip
@@ -99,3 +99,32 @@ class TestPairComparison:
             ]
         )
         assert report.ok
+
+
+class TestDifferentialPDHG:
+    def test_pdhg_lane_runs_and_agrees(self):
+        lp = generate_random_mip(6, 4, seed=2, density=0.8).relaxation()
+        report = differential_lp(lp)
+        assert report.ok, report.disagreements
+        pdhg = [r for r in report.runs if r.name == "pdhg"]
+        assert len(pdhg) == 1
+        assert pdhg[0].conclusive
+        assert "eps=" in pdhg[0].note
+
+    def test_pdhg_lane_can_be_excluded(self):
+        lp = generate_knapsack(8, seed=3).relaxation()
+        report = differential_lp(lp, include_pdhg=False)
+        assert report.ok
+        assert all(r.name != "pdhg" for r in report.runs)
+
+    def test_tolerance_policy_separates_scales(self):
+        # The PDHG solve tolerance must sit well inside the comparison
+        # tolerance, or first-order slack would trip false disagreements.
+        assert PDHG_DIFFERENTIAL_EPS <= DIFFERENTIAL_RTOL / 10
+
+    def test_mip_configs_include_pdhg_nodes(self):
+        problem = generate_random_mip(6, 4, seed=4)
+        report = differential_mip(problem)
+        assert report.ok, report.disagreements
+        names = [r.name for r in report.runs]
+        assert "bb/pdhg_nodes" in names

@@ -1,0 +1,135 @@
+"""Lockstep batched PDHG tests: agreement, mixed statuses, kernel pricing."""
+
+import numpy as np
+import pytest
+
+from repro.device.gpu import Device
+from repro.device.spec import V100
+from repro.errors import LPError, ShapeError
+from repro.lp.pdhg import PDHGOptions, solve_lp_pdhg
+from repro.lp.pdhg_batch import (
+    batch_compatible,
+    solve_lp_pdhg_batch,
+    solve_lp_pdhg_batch_on_device,
+)
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPStatus
+from repro.lp.simplex import solve_lp
+
+EPS = 1e-8
+
+
+def random_batch(k, m, n, seed, shared_matrix=False):
+    rng = np.random.default_rng(seed)
+    a_shared = rng.standard_normal((m, n))
+    lps = []
+    for _ in range(k):
+        lps.append(
+            LinearProgram(
+                c=rng.standard_normal(n),
+                a_ub=a_shared if shared_matrix else rng.standard_normal((m, n)),
+                b_ub=rng.random(m) * 4 + 0.5,
+                ub=np.full(n, 10.0),
+            )
+        )
+    return lps
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("k,m,n", [(1, 3, 4), (4, 4, 5), (8, 3, 3)])
+    def test_matches_single_solver_and_simplex(self, k, m, n):
+        lps = random_batch(k, m, n, seed=k + m + n)
+        batch = solve_lp_pdhg_batch(lps, PDHGOptions(tolerance=EPS))
+        for i, lp in enumerate(lps):
+            ref = solve_lp(lp)
+            assert batch.statuses[i] is ref.status
+            if ref.status is LPStatus.OPTIMAL:
+                assert batch.objectives[i] == pytest.approx(ref.objective, abs=1e-5)
+
+    def test_shared_matrix_sibling_batch(self):
+        # The B&B shape: same rows, per-member bounds (branching splits).
+        lps = random_batch(6, 4, 5, seed=2, shared_matrix=True)
+        for i, lp in enumerate(lps):
+            lp.ub = lp.ub.copy()
+            lp.ub[i % lp.n] = 0.5  # each sibling pins a different variable
+        batch = solve_lp_pdhg_batch(lps, PDHGOptions(tolerance=EPS))
+        for i, lp in enumerate(lps):
+            single = solve_lp_pdhg(lp, PDHGOptions(tolerance=EPS))
+            assert batch.statuses[i] is single.status
+            if single.status is LPStatus.OPTIMAL:
+                assert batch.objectives[i] == pytest.approx(
+                    single.objective, abs=1e-5
+                )
+
+    def test_mixed_statuses_in_one_batch(self):
+        good = LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[2.0], ub=[np.inf])
+        unbounded = LinearProgram(c=[1.0], a_ub=[[-1.0]], b_ub=[2.0], ub=[np.inf])
+        infeasible = LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[-1.0], ub=[np.inf])
+        res = solve_lp_pdhg_batch([good, unbounded, infeasible])
+        assert res.statuses[0] is LPStatus.OPTIMAL
+        assert res.statuses[1] is LPStatus.UNBOUNDED
+        assert res.statuses[2] is LPStatus.INFEASIBLE
+        assert res.objectives[0] == pytest.approx(2.0, abs=1e-6)
+
+
+class TestBounds:
+    def test_bounds_are_bnb_safe(self):
+        lps = random_batch(5, 4, 4, seed=6)
+        res = solve_lp_pdhg_batch(lps, PDHGOptions(tolerance=1e-5))
+        for i, lp in enumerate(lps):
+            ref = solve_lp(lp)
+            if ref.status is LPStatus.OPTIMAL:
+                # The padded bound may be loose but never cuts the optimum.
+                assert res.bounds[i] >= ref.objective - 1e-9
+
+    def test_infeasible_member_bound_is_minus_inf(self):
+        good = LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[2.0], ub=[np.inf])
+        bad = LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[-1.0], ub=[np.inf])
+        res = solve_lp_pdhg_batch([good, bad])
+        assert res.bounds[1] == -np.inf
+
+    def test_member_iterations_tracked(self):
+        lps = random_batch(3, 4, 4, seed=8)
+        res = solve_lp_pdhg_batch(lps, PDHGOptions(tolerance=EPS))
+        assert res.member_iterations.shape == (3,)
+        assert np.all(res.member_iterations <= res.iterations)
+        assert np.all(res.member_iterations > 0)
+
+
+class TestCompatibility:
+    def test_batch_compatible_shapes(self):
+        lps = random_batch(3, 4, 5, seed=1)
+        assert batch_compatible(lps)
+        assert not batch_compatible([])
+        other = LinearProgram(c=[1.0, 2.0], a_ub=[[1.0, 1.0]], b_ub=[1.0])
+        assert not batch_compatible(lps + [other])
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(LPError):
+            solve_lp_pdhg_batch([])
+
+    def test_shape_mismatch_raises(self):
+        a = LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[1.0])
+        b = LinearProgram(c=[1.0, 1.0], a_ub=[[1.0, 1.0]], b_ub=[1.0])
+        with pytest.raises(ShapeError):
+            solve_lp_pdhg_batch([a, b])
+
+
+class TestDevicePricing:
+    def test_shared_k_path_charges_fused_gemms(self):
+        lps = random_batch(4, 4, 5, seed=3, shared_matrix=True)
+        device = Device(V100)
+        res = solve_lp_pdhg_batch_on_device(lps, device, options=PDHGOptions())
+        assert res.all_ok
+        # Sibling batches fuse the frontier into plain GEMMs.
+        assert device.kernel_count("gemm") > 0
+        assert device.kernel_count("batched_gemm") == 0
+        assert device.clock.now > 0.0
+
+    def test_heterogeneous_path_charges_batched_gemms(self):
+        lps = random_batch(4, 4, 5, seed=4, shared_matrix=False)
+        device = Device(V100)
+        res = solve_lp_pdhg_batch_on_device(lps, device, options=PDHGOptions())
+        assert res.all_ok
+        assert device.kernel_count("batched_gemm") > 0
+        assert device.kernel_count("gemm") == 0

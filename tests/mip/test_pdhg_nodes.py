@@ -1,0 +1,133 @@
+"""PDHG node LPs inside branch-and-bound: exactness survives the padding."""
+
+import numpy as np
+import pytest
+
+from repro.api import SolveOptions, solve
+from repro.check import certify_mip_result
+from repro.device.gpu import Device
+from repro.device.spec import V100
+from repro.lp.pdhg import PDHGOptions
+from repro.mip.batch_solver import BatchedNodeSolver, BatchedSolverOptions
+from repro.mip.result import MIPStatus
+from repro.mip.solver import BranchAndBoundSolver, ExecutionEngine, SolverOptions
+from repro.problems.knapsack import generate_knapsack, knapsack_dp_optimal
+from repro.problems.random_mip import generate_random_mip
+
+
+class TestSerialPdhgNodes:
+    def test_knapsack_matches_dp(self):
+        p = generate_knapsack(12, seed=5)
+        expected, _ = knapsack_dp_optimal(p)
+        engine = ExecutionEngine(node_lp="pdhg")
+        res = BranchAndBoundSolver(p, SolverOptions(), engine=engine).solve()
+        assert res.status is MIPStatus.OPTIMAL
+        assert res.objective == pytest.approx(expected)
+        assert engine.pdhg_stats["solves"] > 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_mip_matches_simplex_nodes(self, seed):
+        p = generate_random_mip(6, 4, seed=seed)
+        exact = BranchAndBoundSolver(p, SolverOptions()).solve()
+        pdhg = BranchAndBoundSolver(
+            p, SolverOptions(node_lp="pdhg"), engine=ExecutionEngine(node_lp="pdhg")
+        ).solve()
+        assert pdhg.status is exact.status
+        if exact.status is MIPStatus.OPTIMAL:
+            assert pdhg.objective == pytest.approx(exact.objective, abs=1e-5)
+
+    def test_solver_options_select_engine(self):
+        # node_lp travels through SolverOptions to the default engine.
+        p = generate_knapsack(10, seed=3)
+        expected, _ = knapsack_dp_optimal(p)
+        res = BranchAndBoundSolver(p, SolverOptions(node_lp="pdhg")).solve()
+        assert res.status is MIPStatus.OPTIMAL
+        assert res.objective == pytest.approx(expected)
+
+
+class TestApiIntegration:
+    def test_certificate_clean_on_differential_corpus(self):
+        # Acceptance: api.solve with the PDHG node engine stays exact
+        # under the rational certificate audit across a small corpus.
+        corpus = [generate_knapsack(10, seed=2)] + [
+            generate_random_mip(5, 3, seed=s) for s in range(3)
+        ]
+        for problem in corpus:
+            direct = solve(problem)
+            report = solve(
+                problem, SolveOptions(solver=SolverOptions(node_lp="pdhg"))
+            )
+            assert report.status == direct.status
+            if direct.ok:
+                assert report.objective == pytest.approx(direct.objective, abs=1e-6)
+                audit = certify_mip_result(problem, report.result)
+                assert audit.ok, [c.name for c in audit.failures]
+
+    def test_pdhg_strategy_is_registered(self):
+        p = generate_knapsack(10, seed=4)
+        expected, _ = knapsack_dp_optimal(p)
+        report = solve(p, SolveOptions(strategy="pdhg"))
+        assert report.ok
+        assert report.objective == pytest.approx(expected)
+        # The metered engine priced a first-order kernel stream.
+        assert report.makespan_seconds > 0.0
+        assert report.metrics["counters"]["pdhg.solves"] > 0
+
+    def test_loose_tolerance_still_exact_from_padding(self):
+        # A deliberately sloppy eps yields loose node bounds; the padded
+        # upper_bound keeps pruning sound, so the incumbent stays optimal.
+        p = generate_knapsack(10, seed=6)
+        expected, _ = knapsack_dp_optimal(p)
+        report = solve(
+            p,
+            SolveOptions(
+                solver=SolverOptions(
+                    node_lp="pdhg", pdhg=PDHGOptions(tolerance=1e-5)
+                )
+            ),
+        )
+        assert report.ok
+        assert report.objective == pytest.approx(expected)
+
+
+class TestBatchedPdhgNodes:
+    @pytest.mark.parametrize("batch_size", [4, 8])
+    def test_batched_matches_serial_optimum(self, batch_size):
+        p = generate_knapsack(12, seed=7)
+        expected, _ = knapsack_dp_optimal(p)
+        solver = BatchedNodeSolver(
+            p,
+            BatchedSolverOptions(batch_size=batch_size, lp_engine="pdhg"),
+        )
+        res = solver.solve()
+        assert res.status is MIPStatus.OPTIMAL
+        assert res.objective == pytest.approx(expected)
+        counters = solver.device.metrics.to_dict()["counters"]
+        assert counters["pdhg.batch_rounds"] >= 1
+        assert counters["pdhg.node_solves"] >= res.stats.nodes_processed - counters.get(
+            "pdhg.fallbacks", 0
+        )
+
+    def test_batched_mixed_integer(self):
+        p = generate_random_mip(8, 5, seed=3, integer_fraction=0.5, bound=4.0)
+        exact = BatchedNodeSolver(p, BatchedSolverOptions(batch_size=8)).solve()
+        pdhg = BatchedNodeSolver(
+            p, BatchedSolverOptions(batch_size=8, lp_engine="pdhg")
+        ).solve()
+        assert pdhg.objective == pytest.approx(exact.objective, abs=1e-5)
+
+    def test_api_batched_path_with_device(self):
+        p = generate_knapsack(10, seed=8)
+        expected, _ = knapsack_dp_optimal(p)
+        report = solve(
+            p,
+            SolveOptions(
+                solver=SolverOptions(node_lp="pdhg"),
+                device=Device(V100),
+                mip_node_batch=4,
+            ),
+        )
+        assert report.ok
+        assert report.objective == pytest.approx(expected)
+        assert report.makespan_seconds > 0.0
+        assert "pdhg.batch_rounds" in report.metrics["counters"]

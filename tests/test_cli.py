@@ -180,3 +180,56 @@ class TestFuzzCommand:
         monkeypatch.undo()
         assert main(["replay", str(repros[0])]) == 0
         assert "no longer reproduces" in capsys.readouterr().out
+
+
+class TestNodeLpFlag:
+    def test_pdhg_node_lp_solves_exactly(self, model_path, capsys):
+        assert main(["solve", model_path, "--node-lp", "pdhg"]) == 0
+        out = capsys.readouterr().out
+        assert "status    : optimal" in out
+        expected, _ = knapsack_dp_optimal(generate_knapsack(12, seed=5))
+        assert f"{expected:.6g}" in out
+
+    def test_unknown_node_lp_rejected(self, model_path):
+        with pytest.raises(SystemExit):
+            main(["solve", model_path, "--node-lp", "barrier"])
+
+
+class TestBenchSmoke:
+    def test_writes_and_validates_artifact(self, tmp_path, capsys):
+        from repro.obs.bench import load_bench_json
+
+        out = str(tmp_path / "BENCH_smoke.json")
+        assert main(["bench-smoke", "--sizes", "2,3", "--batch", "2", "-o", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "bench-smoke: wrote" in stdout
+        payload = load_bench_json(out)
+        assert payload["bench"] == "pdhg_crossover"
+        assert len(payload["rows"]) == 2
+
+    def test_check_flag_validates_existing_artifacts(self, tmp_path, capsys):
+        out = str(tmp_path / "smoke.json")
+        assert main(["bench-smoke", "--sizes", "2", "--batch", "2", "-o", out]) == 0
+        capsys.readouterr()
+        # A fresh artifact validates; a missing one fails the run.
+        assert (
+            main(
+                ["bench-smoke", "--sizes", "2", "--batch", "2",
+                 "-o", str(tmp_path / "again.json"), "--check", out]
+            )
+            == 0
+        )
+        assert "bench-smoke: ok" in capsys.readouterr().out
+        assert (
+            main(
+                ["bench-smoke", "--sizes", "2", "--batch", "2",
+                 "-o", str(tmp_path / "third.json"),
+                 "--check", str(tmp_path / "absent.json")]
+            )
+            == 1
+        )
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_bad_sizes_rejected(self, tmp_path, capsys):
+        assert main(["bench-smoke", "--sizes", "two", "-o", str(tmp_path / "x.json")]) == 2
+        assert "bad --sizes" in capsys.readouterr().err
