@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke serve-bench fuzz chaos examples clean
+.PHONY: install test bench bench-smoke serve-bench fuzz chaos guard examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,13 +14,18 @@ serve-bench:
 
 bench-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench-smoke \
-		--out BENCH_smoke.json --check BENCH_pdhg.json --check BENCH_s1.json
+		--out BENCH_smoke.json --check BENCH_pdhg.json --check BENCH_s1.json \
+		--check BENCH_chaos.json
 
 fuzz:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro fuzz --budget 50 --seed 0
 
 chaos:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro chaos --seed 0 --trace chaos-trace.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro chaos --seed 0 \
+		--trace chaos-trace.json --bench BENCH_chaos.json
+
+guard:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro guard
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

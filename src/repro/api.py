@@ -31,8 +31,9 @@ import numpy as np
 from repro import obs
 from repro.device.gpu import Device
 from repro.device import kernels as K
-from repro.errors import FaultError
+from repro.errors import FaultError, NumericalInstabilityError, ReproError
 from repro.faults import injector as faults
+from repro.guard.budget import DeadlineBudget, GuardContext, guarding
 from repro.faults.plan import SITE_NODE, FaultPlan
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
@@ -72,6 +73,32 @@ class SolveOptions:
     #: Installs a fresh injector when none is active; the final fault
     #: accounting lands in ``SolveReport.metrics["faults"]``.
     fault_plan: Optional[FaultPlan] = None
+    #: Host-seconds budget for this call.  Installs a guard context (or
+    #: adds a budget to the active one) so a mid-solve expiry returns a
+    #: structured anytime report — status ``"time_limit"``, best
+    #: incumbent, certified dual bound, gap — instead of hanging.
+    deadline: Optional[float] = None
+    #: Run the problem sanitizer first: "repair", "warn", or "reject"
+    #: (see :mod:`repro.guard.sanitize`).  The sanitation report lands
+    #: in ``SolveReport.metrics["sanitize"]``.
+    sanitize: Optional[str] = None
+
+    def __post_init__(self):
+        if self.deadline is not None and not self.deadline > 0:
+            raise ReproError(
+                f"deadline must be positive seconds, got {self.deadline!r}"
+            )
+        if self.mip_node_batch < 0:
+            raise ReproError(
+                f"mip_node_batch must be non-negative, got {self.mip_node_batch!r}"
+            )
+        if self.sanitize is not None and self.sanitize not in (
+            "repair", "warn", "reject"
+        ):
+            raise ReproError(
+                "sanitize must be one of 'repair', 'warn', 'reject', "
+                f"got {self.sanitize!r}"
+            )
 
 
 @dataclass
@@ -130,19 +157,55 @@ def solve(problem: Problem, options: Optional[SolveOptions] = None) -> SolveRepo
     on unknown strategy names.
     """
     options = options or SolveOptions()
+    sanitize_summary = None
+    if options.sanitize is not None:
+        from repro.guard.sanitize import SanitizePolicy, sanitize_problem
+
+        san = sanitize_problem(problem, policy=SanitizePolicy(options.sanitize))
+        sanitize_summary = san.to_dict()
+        if san.verdict == "infeasible":
+            report = SolveReport(
+                status="infeasible",
+                objective=float("nan"),
+                x=None,
+                strategy=options.strategy,
+                best_bound=float("-inf"),
+            )
+            report.metrics["sanitize"] = sanitize_summary
+            return report
+        problem = san.problem
+        options = replace(options, sanitize=None)
+    if options.deadline is not None:
+        ctx = GuardContext(
+            budgets=[DeadlineBudget(options.deadline, label="api")]
+        )
+        with guarding(ctx):
+            report = solve(problem, replace(options, deadline=None))
+        if ctx.events:
+            report.metrics["guard"] = ctx.summary()
+        if sanitize_summary is not None:
+            report.metrics["sanitize"] = sanitize_summary
+        return report
     if options.fault_plan is not None and faults.active() is None:
         with faults.injecting(options.fault_plan):
-            return solve(problem, replace(options, fault_plan=None))
+            report = solve(problem, replace(options, fault_plan=None))
+            if sanitize_summary is not None:
+                report.metrics["sanitize"] = sanitize_summary
+            return report
     if options.trace and obs.active() is None:
         with obs.tracing() as tracer:
             report = _solve(problem, options)
             report.tracer = tracer
             report.trace_id = tracer.trace_id
+            if sanitize_summary is not None:
+                report.metrics["sanitize"] = sanitize_summary
             return report
     report = _solve(problem, options)
     tracer = obs.active()
     if tracer is not None and not report.trace_id:
         report.trace_id = tracer.trace_id
+    if sanitize_summary is not None:
+        report.metrics["sanitize"] = sanitize_summary
     return report
 
 
@@ -176,6 +239,23 @@ def _solve_mip(problem: MIPProblem, options: SolveOptions) -> SolveReport:
     while True:
         try:
             report = _run_mip_engine(problem, options, strategy)
+        except NumericalInstabilityError as exc:
+            # Same ladder as fault degradation, but for numerics: hand
+            # the instance to the strategy's registered fallback; the
+            # chain ends at "direct", the exact host engine.
+            fallback = (
+                registry.fallback_for(strategy) if options.engine is None else None
+            )
+            if fallback is None:
+                raise
+            obs.event(
+                "guard.degrade", category="guard",
+                from_strategy=strategy, to_strategy=fallback,
+                error=type(exc).__name__, signal=exc.signal,
+            )
+            strategy = fallback
+            chain.append(fallback)
+            continue
         except FaultError as exc:
             fallback = (
                 registry.fallback_for(strategy)
@@ -303,6 +383,13 @@ def _solve_lp(problem: LinearProgram, options: SolveOptions) -> SolveReport:
     """Plain LP path; with a device, charge the serial small-LP stream."""
     sf = problem.to_standard_form()
     result = solve_standard_form(sf, options=options.solver.simplex)
+    escalation = None
+    if result.status is LPStatus.NUMERICAL:
+        from repro.guard.escalate import escalate_lp
+
+        outcome = escalate_lp(sf, options=options.solver.simplex, first=result)
+        result = outcome.result
+        escalation = outcome.steps
     device = options.device
     if device is not None:
         # One small-LP kernel stream (factor + per-iteration solves),
@@ -315,6 +402,9 @@ def _solve_lp(problem: LinearProgram, options: SolveOptions) -> SolveReport:
     x = None
     if result.status is LPStatus.OPTIMAL and result.x_standard is not None:
         x = sf.recover_x(result.x_standard)
+    metrics = _fault_metrics({} if device is None else device.metrics.to_dict())
+    if escalation:
+        metrics["escalation"] = list(escalation)
     return SolveReport(
         status=result.status.value,
         objective=float(result.objective),
@@ -322,6 +412,6 @@ def _solve_lp(problem: LinearProgram, options: SolveOptions) -> SolveReport:
         strategy="lp",
         lp_iterations=result.iterations,
         makespan_seconds=0.0 if device is None else device.clock.now,
-        metrics=_fault_metrics({} if device is None else device.metrics.to_dict()),
+        metrics=metrics,
         lp_result=result,
     )

@@ -79,6 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="OUT.json",
         help="export the run's timeline as Chrome trace JSON",
     )
+    solve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="host-seconds budget; a mid-solve expiry returns the "
+        "anytime answer (incumbent + dual bound + gap) as time_limit",
+    )
+    solve.add_argument(
+        "--sanitize",
+        choices=["repair", "warn", "reject"],
+        default=None,
+        help="run the problem sanitizer first (see docs/robustness.md)",
+    )
 
     generate = sub.add_parser("generate", help="write a mini-MIPLIB instance")
     generate.add_argument("name", choices=sorted(MINI_MIPLIB))
@@ -170,6 +181,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="OUT.json",
         help="export the chaos run's timeline as Chrome trace JSON",
     )
+    chaos.add_argument(
+        "--bench", default=None, metavar="BENCH_chaos.json",
+        help="also write the deterministic chaos-overhead benchmark "
+        "artifact (validated by bench-smoke --check)",
+    )
+
+    guard = sub.add_parser(
+        "guard",
+        help="run the pathological corpus through sanitize → solve "
+        "under budgets and audit every verdict (docs/robustness.md)",
+    )
+    guard.add_argument(
+        "--deadline", type=float, default=5.0,
+        help="per-case host-seconds budget (the anti-hang backstop)",
+    )
+    guard.add_argument(
+        "--case", action="append", default=[], metavar="NAME",
+        help="run only this corpus case (repeatable)",
+    )
+    guard.add_argument(
+        "--list", action="store_true", dest="list_cases",
+        help="list corpus case names and exit",
+    )
 
     bench_smoke = sub.add_parser(
         "bench-smoke",
@@ -255,6 +289,8 @@ def cmd_solve(args) -> int:
             strategy=args.strategy or "direct",
             solver=options,
             trace=args.trace is not None,
+            deadline=args.deadline,
+            sanitize=args.sanitize,
         ),
     )
     result = report.result
@@ -285,7 +321,16 @@ def cmd_solve(args) -> int:
                 print(render_table(["var", "value"], nonzero))
         print(f"nodes     : {report.nodes}")
         print(f"LP iters  : {report.lp_iterations}")
-        if args.checkpoint and result.tree is not None:
+        if report.status in ("time_limit", "iteration_limit", "node_limit"):
+            bound = report.best_bound
+            gap = report.gap
+            print(f"bound     : {bound:.6g}" if np.isfinite(bound) else "bound     : inf")
+            print(f"gap       : {gap:.4%}" if np.isfinite(gap) else "gap       : inf")
+        if "sanitize" in report.metrics:
+            repaired = report.metrics["sanitize"].get("repaired", [])
+            if repaired:
+                print(f"sanitized : {', '.join(repaired)}")
+        if args.checkpoint and result is not None and result.tree is not None:
             incumbent = report.objective if report.x is not None else -np.inf
             snap = capture_snapshot(result.tree, incumbent, report.x)
             save_snapshot(snap, args.checkpoint)
@@ -293,7 +338,15 @@ def cmd_solve(args) -> int:
 
     if args.trace and report.tracer is not None:
         _export_trace(report.tracer, args.trace)
-    return 0 if report.ok else 1
+    if report.ok:
+        return 0
+    if args.deadline is not None and report.status in (
+        "time_limit", "iteration_limit", "node_limit"
+    ):
+        # A budgeted run that stopped with a structured anytime answer
+        # did what was asked of it.
+        return 0
+    return 1
 
 
 def cmd_generate(args) -> int:
@@ -468,8 +521,45 @@ def cmd_chaos(args) -> int:
     print(render_chaos(report))
     if args.trace and tracer is not None:
         _export_trace(tracer, args.trace)
+    if args.bench:
+        from repro.faults.chaos import chaos_overhead_payload
+        from repro.obs.bench import load_bench_json, write_bench_json
+
+        payload = chaos_overhead_payload(seed=args.seed, items=args.items)
+        write_bench_json(args.bench, payload)
+        loaded = load_bench_json(args.bench)
+        print(
+            f"bench     : {args.bench} ({len(loaded['rows'])} plans, "
+            f"max overhead "
+            f"{loaded['summary']['max_overhead_ratio']:.2f}x)"
+        )
     print()
     print("chaos: OK" if report.ok else "chaos: FAILED")
+    return 0 if report.ok else 1
+
+
+def cmd_guard(args) -> int:
+    """``repro guard``: pathological corpus through the guard stack."""
+    from repro.guard.gauntlet import run_gauntlet
+    from repro.problems.pathological import case_by_name, pathological_corpus
+    from repro.reporting import render_guard
+
+    if args.list_cases:
+        for case in pathological_corpus():
+            print(f"{case.name:<22} expect={case.expect:<10} {case.notes}")
+        return 0
+    cases = None
+    if args.case:
+        try:
+            cases = [case_by_name(name) for name in args.case]
+        except KeyError as exc:
+            print(f"error: unknown case {exc}", file=sys.stderr)
+            return 2
+    report = run_gauntlet(cases=cases, deadline=args.deadline, log_fn=print)
+    print()
+    print(render_guard(report))
+    print()
+    print("guard: OK" if report.ok else "guard: FAILED")
     return 0 if report.ok else 1
 
 
@@ -623,6 +713,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fuzz": cmd_fuzz,
         "replay": cmd_replay,
         "chaos": cmd_chaos,
+        "guard": cmd_guard,
         "bench-smoke": cmd_bench_smoke,
         "serve-bench": cmd_serve_bench,
     }

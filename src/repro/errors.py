@@ -121,6 +121,62 @@ class ProblemFormatError(SolverError):
 
 
 # ---------------------------------------------------------------------------
+# Solver health (repro.guard)
+# ---------------------------------------------------------------------------
+
+
+class GuardError(SolverError):
+    """Base class for solver-health (``repro.guard``) failures."""
+
+
+class SanitizeError(GuardError):
+    """The problem sanitizer rejected an instance it cannot repair."""
+
+    def __init__(self, issues):
+        self.issues = list(issues)
+        head = "; ".join(str(i) for i in self.issues[:3])
+        more = len(self.issues) - 3
+        if more > 0:
+            head += f" (+{more} more)"
+        super().__init__(f"problem rejected by sanitizer: {head}")
+
+
+class NumericalInstabilityError(GuardError):
+    """A watchdog declared an engine numerically unrecoverable.
+
+    Raised only after the escalation ladder (rescale → perturb → switch
+    engine → exact fallback) is exhausted; ``repro.api`` treats it like a
+    device fault and walks the strategy degradation chain.
+    """
+
+    def __init__(self, engine: str, signal: str, detail: str = ""):
+        self.engine = engine
+        self.signal = signal
+        tail = f": {detail}" if detail else ""
+        super().__init__(
+            f"engine {engine!r} numerically unstable ({signal}){tail}"
+        )
+
+
+class DeadlineExpired(GuardError):
+    """A cooperative deadline budget ran out where no anytime answer exists.
+
+    Engines that *can* return an anytime result do so with a
+    ``TIME_LIMIT`` status instead; this error marks code paths (setup,
+    presolve) where nothing partial has been computed yet.
+    """
+
+    def __init__(self, where: str, elapsed: float, budget: float):
+        self.where = where
+        self.elapsed = elapsed
+        self.budget = budget
+        super().__init__(
+            f"deadline expired during {where}: "
+            f"{elapsed:.6g}s elapsed of {budget:.6g}s budget"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Solve service (repro.serve)
 # ---------------------------------------------------------------------------
 

@@ -308,6 +308,65 @@ def _distributed_scenario(plan: FaultPlan, seed: int, items: int) -> ChaosRun:
 # ---------------------------------------------------------------------------
 
 
+def chaos_overhead_payload(seed: int = 0, items: int = 8) -> Dict:
+    """Benchmark artifact: simulated cost of surviving each fault plan.
+
+    One clean metered solve sets the baseline makespan; each
+    device-site plan from the builtin corpus then re-runs the same
+    solve under injection, and the row records how much simulated time
+    the retries, re-uploads, and checkpoint restarts added.  Fully
+    deterministic (seeded plans, simulated clock), so the artifact is
+    byte-stable and CI can gate on it via ``bench-smoke --check``.
+    """
+    from repro.api import SolveOptions, solve
+    from repro.mip.solver import SolverOptions
+    from repro.obs.bench import bench_payload
+
+    problem = _chaos_problem(seed, items)
+    baseline = solve(problem, SolveOptions(strategy="gpu_only"))
+    base_span = baseline.makespan_seconds
+    device_sites = (SITE_KERNEL, SITE_ECC, SITE_TRANSFER, SITE_NODE)
+    rows: List[Dict] = []
+    worst = 1.0
+    for plan in builtin_corpus(seed):
+        if not any(plan.touches(site) for site in device_sites):
+            continue
+        with injecting(plan) as injector:
+            report = solve(
+                problem,
+                SolveOptions(
+                    strategy="gpu_only",
+                    solver=SolverOptions(checkpoint_every=2),
+                ),
+            )
+            counts = injector.counts()
+        overhead = (
+            report.makespan_seconds / base_span if base_span > 0 else 1.0
+        )
+        worst = max(worst, overhead)
+        rows.append(
+            {
+                "plan": plan.name,
+                "status": report.status,
+                "injected": counts.get("injected", 0),
+                "recovered": counts.get("recovered", 0),
+                "tolerated": counts.get("tolerated", 0),
+                "makespan_seconds": report.makespan_seconds,
+                "overhead_ratio": overhead,
+            }
+        )
+    return bench_payload(
+        "chaos_overhead",
+        rows,
+        params={"seed": seed, "items": items, "strategy": "gpu_only"},
+        summary={
+            "baseline_makespan_seconds": base_span,
+            "max_overhead_ratio": worst,
+            "plans": len(rows),
+        },
+    )
+
+
 def run_chaos(
     plans: Optional[List[FaultPlan]] = None,
     seed: int = 0,

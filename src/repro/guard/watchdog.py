@@ -1,0 +1,164 @@
+"""Iteration watchdogs: stall, divergence, cycling, NaN/Inf detection.
+
+Every iterative engine (primal simplex, dual simplex, IPM, PDHG, and
+the batched variants) reports progress through the same
+:class:`GuardState` shape — an iteration counter, a scalar *merit*
+(objective, duality measure, KKT residual: whatever the engine drives
+toward its goal), and optionally the current iterate vector.  The
+:class:`IterationWatchdog` turns that stream into one of five
+:class:`WatchdogSignal` values; the engine maps non-``OK`` signals to a
+structured status (``NUMERICAL``/``ITERATION_LIMIT``) instead of
+iterating on garbage, and the escalation ladder
+(:mod:`repro.guard.escalate`) decides what to try next.
+
+Engines call :meth:`IterationWatchdog.observe` at their existing check
+cadence (simplex every pricing round, PDHG at its KKT checks, IPM per
+iteration) so the guarded hot path stays hot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+
+class WatchdogSignal(enum.Enum):
+    """Verdict of one watchdog observation."""
+
+    OK = "ok"
+    #: Merit has not improved for ``stall_window`` observations.
+    STALL = "stall"
+    #: Merit magnitude exploded past ``diverge_factor`` × initial scale.
+    DIVERGED = "diverged"
+    #: The same merit value keeps recurring without net progress.
+    CYCLING = "cycling"
+    #: NaN/Inf appeared in the merit or the iterate vector.
+    NONFINITE = "nonfinite"
+
+    @property
+    def ok(self) -> bool:
+        return self is WatchdogSignal.OK
+
+
+class GuardState(Protocol):
+    """What an engine exposes to the watchdog each observation."""
+
+    iteration: int
+    merit: float
+    vector: Optional[np.ndarray]
+
+
+@dataclass
+class WatchdogOptions:
+    """Detection thresholds shared by all engines."""
+
+    #: Observations without merit improvement before declaring a stall.
+    stall_window: int = 250
+    #: Relative improvement below this does not reset the stall counter.
+    stall_rtol: float = 1e-12
+    #: |merit| beyond this multiple of the initial scale is divergence.
+    diverge_factor: float = 1e10
+    #: Exact merit repeats within the stall window before CYCLING.
+    cycle_repeats: int = 5
+    #: Check the iterate vector for NaN/Inf (costs one np.isfinite pass).
+    check_vector: bool = True
+
+    def __post_init__(self):
+        from repro.errors import ReproError
+
+        if self.stall_window <= 0:
+            raise ReproError(
+                f"stall_window must be positive, got {self.stall_window!r}"
+            )
+        if self.cycle_repeats <= 1:
+            raise ReproError(
+                f"cycle_repeats must exceed 1, got {self.cycle_repeats!r}"
+            )
+        if not self.diverge_factor > 1:
+            raise ReproError(
+                f"diverge_factor must exceed 1, got {self.diverge_factor!r}"
+            )
+
+
+class IterationWatchdog:
+    """Progress monitor for one engine run.
+
+    Direction-agnostic: pass ``sense="max"`` when larger merit is
+    better (simplex objective), ``sense="min"`` when the engine drives
+    merit to zero (IPM duality measure, PDHG KKT residual).
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        options: Optional[WatchdogOptions] = None,
+        sense: str = "min",
+    ):
+        self.engine = engine
+        self.options = options or WatchdogOptions()
+        self.sign = -1.0 if sense == "max" else 1.0
+        self.best: float = np.inf
+        self.scale: Optional[float] = None
+        self.since_improvement = 0
+        self.repeats = 0
+        self.last_merit: Optional[float] = None
+        self.observations = 0
+
+    def observe(
+        self,
+        iteration: int,
+        merit: Optional[float] = None,
+        vector: Optional[np.ndarray] = None,
+    ) -> WatchdogSignal:
+        """Digest one progress report; OK unless a pathology is seen."""
+        self.observations += 1
+        if vector is not None and self.options.check_vector:
+            if not np.all(np.isfinite(vector)):
+                return self._trip(WatchdogSignal.NONFINITE, iteration)
+        if merit is None:
+            return WatchdogSignal.OK
+        merit = float(merit)
+        if not np.isfinite(merit):
+            return self._trip(WatchdogSignal.NONFINITE, iteration)
+        if self.scale is None:
+            self.scale = max(1.0, abs(merit))
+        if abs(merit) > self.options.diverge_factor * self.scale:
+            return self._trip(WatchdogSignal.DIVERGED, iteration)
+
+        oriented = self.sign * merit
+        threshold = self.best - self.options.stall_rtol * max(
+            1.0, abs(self.best) if np.isfinite(self.best) else 1.0
+        )
+        if oriented < threshold:
+            self.best = oriented
+            self.since_improvement = 0
+            self.repeats = 0
+        else:
+            self.since_improvement += 1
+            if self.last_merit is not None and merit == self.last_merit:
+                self.repeats += 1
+            else:
+                self.repeats = 0
+        self.last_merit = merit
+
+        if self.repeats >= self.options.cycle_repeats:
+            return self._trip(WatchdogSignal.CYCLING, iteration)
+        if self.since_improvement >= self.options.stall_window:
+            return self._trip(WatchdogSignal.STALL, iteration)
+        return WatchdogSignal.OK
+
+    def _trip(self, signal: WatchdogSignal, iteration: int) -> WatchdogSignal:
+        from repro.guard import budget as _budget
+
+        ctx = _budget.active()
+        if ctx is not None:
+            ctx.note(
+                "watchdog",
+                engine=self.engine,
+                signal=signal.value,
+                iteration=int(iteration),
+            )
+        return signal

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.config import DEFAULT_TOLERANCES
 from repro.errors import LPError, ShapeError
+from repro.guard import budget as guard_budget
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPStatus
 
@@ -133,8 +134,15 @@ def solve_lp_batch(
     unbounded = np.zeros(k, dtype=bool)
     batch_ids = np.arange(k)
     iterations = 0
+    timed_out = False
+    guard_ctx = guard_budget.active()
 
     while active.any() and iterations < max_iterations:
+        if guard_ctx is not None and guard_ctx.deadline_hit():
+            # Cooperative stop: still-active members surrender together
+            # (the lockstep batch shares one clock).
+            timed_out = True
+            break
         if on_iteration is not None:
             on_iteration(int(active.sum()), m, total_cols)
         cost_rows = tab[:, m, :total_cols]
@@ -171,12 +179,13 @@ def solve_lp_batch(
         basis[act, leave[act]] = entering[act]
         iterations += 1
 
+    tail_status = LPStatus.TIME_LIMIT if timed_out else LPStatus.ITERATION_LIMIT
     statuses: List[LPStatus] = []
     for t in range(k):
         if unbounded[t]:
             statuses.append(LPStatus.UNBOUNDED)
         elif active[t]:
-            statuses.append(LPStatus.ITERATION_LIMIT)
+            statuses.append(tail_status)
         else:
             statuses.append(LPStatus.OPTIMAL)
 

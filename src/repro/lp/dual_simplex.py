@@ -21,10 +21,12 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import LPError, SingularMatrixError
+from repro.guard import budget as guard_budget
+from repro.guard.watchdog import IterationWatchdog, WatchdogSignal
 from repro.la.updates import ProductFormInverse
 from repro.lp.problem import StandardFormLP
 from repro.lp.result import LPResult, LPStatus
-from repro.lp.simplex import NULL_HOOK, CostHook, SimplexOptions
+from repro.lp.simplex import GUARD_EVERY, NULL_HOOK, CostHook, SimplexOptions
 from repro import obs
 
 
@@ -95,7 +97,26 @@ def _dual_simplex_resolve(
 
     iterations = 0
     updates = 0
+    guard_ctx = guard_budget.active()
+    watchdog = (
+        IterationWatchdog(
+            "dual_simplex", options=guard_ctx.watchdog_options, sense="min"
+        )
+        if guard_ctx is not None
+        else None
+    )
     while iterations < max_iter:
+        if guard_ctx is not None and iterations % GUARD_EVERY == 0:
+            if guard_ctx.deadline_hit():
+                return LPResult(status=LPStatus.TIME_LIMIT, iterations=iterations)
+            # Merit: total primal infeasibility, driven to zero.
+            signal = watchdog.observe(
+                iterations,
+                merit=float(np.sum(np.maximum(-x_basic, 0.0))),
+                vector=x_basic,
+            )
+            if signal in (WatchdogSignal.NONFINITE, WatchdogSignal.DIVERGED):
+                return LPResult(status=LPStatus.NUMERICAL, iterations=iterations)
         leave_pos = int(np.argmin(x_basic))
         if x_basic[leave_pos] >= -tol.feasibility:
             # Primal feasible and dual feasible: optimal.

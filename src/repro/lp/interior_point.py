@@ -21,7 +21,9 @@ from typing import Optional
 import numpy as np
 
 from repro.config import DEFAULT_CONFIG, Config
-from repro.errors import NotPositiveDefiniteError
+from repro.errors import NotPositiveDefiniteError, ReproError
+from repro.guard import budget as guard_budget
+from repro.guard.watchdog import IterationWatchdog, WatchdogSignal
 from repro.la.dense import back_substitution, cholesky, forward_substitution
 from repro.lp.problem import StandardFormLP
 from repro.lp.result import LPResult, LPStatus
@@ -41,6 +43,14 @@ class IPMOptions:
     def __post_init__(self):
         if self.config is None:
             self.config = DEFAULT_CONFIG
+        if self.max_iterations <= 0:
+            raise ReproError(
+                f"max_iterations must be positive, got {self.max_iterations!r}"
+            )
+        if not self.tolerance > 0:
+            raise ReproError(
+                f"tolerance must be positive, got {self.tolerance!r}"
+            )
 
 
 def _solve_normal_equations(
@@ -85,10 +95,26 @@ def interior_point_solve(
     y = np.zeros(m)
     norm_scale = 1.0 + max(np.linalg.norm(b), np.linalg.norm(c))
 
+    guard_ctx = guard_budget.active()
+    watchdog = (
+        IterationWatchdog(
+            "interior_point", options=guard_ctx.watchdog_options, sense="min"
+        )
+        if guard_ctx is not None
+        else None
+    )
+
     for iteration in range(options.max_iterations):
         r_p = b - a @ x
         r_d = c - a.T @ y - s
         mu = float(x @ s) / n
+
+        if guard_ctx is not None:
+            if guard_ctx.deadline_hit():
+                return LPResult(status=LPStatus.TIME_LIMIT, iterations=iteration)
+            signal = watchdog.observe(iteration, merit=mu, vector=x)
+            if signal in (WatchdogSignal.NONFINITE, WatchdogSignal.DIVERGED):
+                return LPResult(status=LPStatus.NUMERICAL, iterations=iteration)
 
         if (
             np.linalg.norm(r_p) <= options.tolerance * norm_scale

@@ -40,6 +40,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.guard import budget as guard_budget
+from repro.guard.watchdog import IterationWatchdog, WatchdogSignal
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
 
@@ -96,6 +98,31 @@ class PDHGOptions:
     detect_rays: bool = True
     #: Relative tolerance for validating a candidate ray.
     ray_tolerance: float = 1e-6
+
+    def __post_init__(self):
+        from repro.errors import ReproError
+
+        if not self.tolerance > 0:
+            raise ReproError(
+                f"tolerance must be positive, got {self.tolerance!r}"
+            )
+        if self.max_iterations is not None and self.max_iterations <= 0:
+            raise ReproError(
+                f"max_iterations must be positive, got {self.max_iterations!r}"
+            )
+        if self.check_every <= 0:
+            raise ReproError(
+                f"check_every must be positive, got {self.check_every!r}"
+            )
+        if not 0 < self.step_size_scale <= 1:
+            raise ReproError(
+                "step_size_scale must lie in (0, 1], "
+                f"got {self.step_size_scale!r}"
+            )
+        if self.power_iterations <= 0:
+            raise ReproError(
+                f"power_iterations must be positive, got {self.power_iterations!r}"
+            )
 
 
 @dataclass
@@ -242,9 +269,15 @@ def power_iteration_norm(
     hook: PDHGCostHook = NULL_PDHG_HOOK,
     batch: int = 1,
 ) -> float:
-    """Deterministic power-iteration estimate of ‖K‖₂ (via KᵀK)."""
+    """Deterministic power-iteration estimate of ‖K‖₂ (via KᵀK).
+
+    Returns 0.0 for empty, all-zero, near-zero, or non-finite matrices —
+    never NaN/Inf — so callers can substitute a safe step size instead
+    of dividing by a garbage norm (an all-zero constraint block would
+    otherwise turn 1/‖K‖ into a NaN step and poison every iterate).
+    """
     m, n = k.shape
-    if k.size == 0:
+    if k.size == 0 or not np.all(np.isfinite(k)):
         return 0.0
     # Deterministic non-degenerate start (a seeded RNG would make solves
     # depend on call order; a fixed ramp never does).
@@ -255,11 +288,11 @@ def power_iteration_norm(
         hook.on_setup(batch, m, n)
         w = k.T @ (k @ v)
         norm = np.linalg.norm(w)
-        if norm <= 1e-300:
+        if not np.isfinite(norm) or norm <= 1e-150:
             return 0.0
         sigma = np.sqrt(norm)
         v = w / norm
-    return float(sigma)
+    return float(sigma) if np.isfinite(sigma) else 0.0
 
 
 def _kkt(
@@ -416,7 +449,9 @@ def solve_saddle_pdhg(
 
     norm_k = power_iteration_norm(ks, options.power_iterations, hook)
     stats.power_iterations = options.power_iterations
-    if norm_k <= 0.0:
+    if not np.isfinite(norm_k) or norm_k <= 1e-12:
+        # Zero/garbage norm estimate: fall back to a unit step scale
+        # rather than dividing by (near-)nothing.
         norm_k = 1.0
     eta = options.step_size_scale / norm_k
 
@@ -475,6 +510,13 @@ def solve_saddle_pdhg(
             stats=stats,
         )
 
+    guard_ctx = guard_budget.active()
+    watchdog = (
+        IterationWatchdog("pdhg", options=guard_ctx.watchdog_options, sense="min")
+        if guard_ctx is not None
+        else None
+    )
+
     tau = eta / omega
     sigma = eta * omega
     while stats.iterations < max_iterations:
@@ -509,6 +551,19 @@ def solve_saddle_pdhg(
             status = LPStatus.OPTIMAL
             best = make_result(status, xo, yo, pr, dr, gp, p, d)
             break
+
+        if guard_ctx is not None:
+            # Piggyback on the KKT cadence: one budget poll and one
+            # watchdog observation per check, never per iteration.
+            if guard_ctx.deadline_hit():
+                status = LPStatus.TIME_LIMIT
+                best = make_result(status, xo, yo, pr, dr, gp, p, d)
+                break
+            signal = watchdog.observe(stats.iterations, merit=score, vector=xv)
+            if signal in (WatchdogSignal.NONFINITE, WatchdogSignal.DIVERGED):
+                status = LPStatus.NUMERICAL
+                best = PDHGResult(status=status, stats=stats)
+                break
 
         # Farkas-ray detection from the displacement over this span.
         if options.detect_rays:

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import LPError, ShapeError
+from repro.guard import budget as guard_budget
 from repro.lp.pdhg import (
     NULL_PDHG_HOOK,
     PDHGCostHook,
@@ -221,7 +222,13 @@ def solve_lp_pdhg_batch(
             )
             active[i] = False
 
+        guard_ctx = guard_budget.active()
+        timed_out = False
+
         while active.any() and sweeps < max_iterations:
+            if guard_ctx is not None and guard_ctx.deadline_hit():
+                timed_out = True
+                break
             steps = min(options.check_every, max_iterations - sweeps)
             act_col = active[:, None]
             for _ in range(steps):
@@ -250,6 +257,22 @@ def solve_lp_pdhg_batch(
             for i in np.nonzero(active)[0]:
                 s = saddles[i]
                 mem = members[i]
+                if not (np.all(np.isfinite(x[i])) and np.all(np.isfinite(y[i]))):
+                    # Poisoned member: freeze it as NUMERICAL so the
+                    # rest of the lockstep batch keeps converging.
+                    mem.stats.iterations = int(member_iterations[i])
+                    results[i] = PDHGResult(
+                        status=LPStatus.NUMERICAL, stats=mem.stats
+                    )
+                    active[i] = False
+                    if guard_ctx is not None:
+                        guard_ctx.note(
+                            "watchdog",
+                            engine="pdhg_batch",
+                            signal="nonfinite",
+                            member=int(i),
+                        )
+                    continue
                 candidates = [(x[i], y[i])]
                 if navg[i] > 1:
                     candidates.append((sum_x[i] / navg[i], sum_y[i] / navg[i]))
@@ -328,11 +351,12 @@ def solve_lp_pdhg_batch(
                     mem.last_candidate_score = np.inf
 
         # Members that never terminated: report the iterate as-is.
+        tail_status = LPStatus.TIME_LIMIT if timed_out else LPStatus.ITERATION_LIMIT
         for i in np.nonzero(active)[0]:
             xo, yo = unscale(i)
             pr, dr, gp, p, d = _kkt(saddles[i], xo, yo)
             members[i].stats.kkt_checks += 1
-            finish(i, LPStatus.ITERATION_LIMIT, pr, dr, gp, p, d)
+            finish(i, tail_status, pr, dr, gp, p, d)
 
         out = _collect(results, member_iterations, sweeps, n)
         sp.set(

@@ -16,6 +16,11 @@ class LPStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
+    #: Cooperative deadline budget (:mod:`repro.guard`) expired mid-solve.
+    TIME_LIMIT = "time_limit"
+    #: A watchdog tripped (NaN/Inf iterates, divergence) and the engine
+    #: surrendered the instance instead of iterating on garbage.
+    NUMERICAL = "numerical"
 
     @property
     def ok(self) -> bool:

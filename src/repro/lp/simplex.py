@@ -27,12 +27,17 @@ from typing import Optional
 import numpy as np
 
 from repro.config import DEFAULT_CONFIG, Config
-from repro.errors import SingularMatrixError
+from repro.errors import ReproError, SingularMatrixError
+from repro.guard import budget as guard_budget
+from repro.guard.watchdog import IterationWatchdog, WatchdogSignal
 from repro.la.updates import ProductFormInverse
 from repro import obs
 from repro.lp.pricing import BlandPricing, PricingRule, make_pricing
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
+
+#: Poll the guard context every this-many pivots (cheap, off the hot path).
+GUARD_EVERY = 32
 
 
 class CostHook:
@@ -74,6 +79,20 @@ class SimplexOptions:
     config: Config = field(default_factory=lambda: DEFAULT_CONFIG)
     #: Consecutive degenerate pivots before switching to Bland's rule.
     degenerate_switch: int = 40
+
+    def __post_init__(self):
+        if self.refactor_interval <= 0:
+            raise ReproError(
+                f"refactor_interval must be positive, got {self.refactor_interval!r}"
+            )
+        if self.max_iterations is not None and self.max_iterations <= 0:
+            raise ReproError(
+                f"max_iterations must be positive, got {self.max_iterations!r}"
+            )
+        if self.degenerate_switch <= 0:
+            raise ReproError(
+                f"degenerate_switch must be positive, got {self.degenerate_switch!r}"
+            )
 
 
 @dataclass
@@ -185,7 +204,11 @@ def _solve_standard_form(
     c_phase1[n:] = -1.0
     allowed_phase1 = np.ones(n + m, dtype=bool)
     status = _iterate(ws, c_phase1, allowed_phase1, max_iter, tol)
-    if status == LPStatus.ITERATION_LIMIT:
+    if status in (
+        LPStatus.ITERATION_LIMIT,
+        LPStatus.TIME_LIMIT,
+        LPStatus.NUMERICAL,
+    ):
         return LPResult(status=status, iterations=ws.iterations)
     infeasibility = float(np.sum(ws.x_basic[np.asarray(ws.basis) >= n]))
     if infeasibility > 1e-6:
@@ -235,8 +258,29 @@ def _iterate(
     bland = BlandPricing()
     degenerate_streak = 0
     m = ws.a.shape[0]
+    guard_ctx = guard_budget.active()
+    watchdog = (
+        IterationWatchdog(
+            "simplex", options=guard_ctx.watchdog_options, sense="max"
+        )
+        if guard_ctx is not None
+        else None
+    )
 
     while ws.iterations < max_iter:
+        if guard_ctx is not None and ws.iterations % GUARD_EVERY == 0:
+            if guard_ctx.deadline_hit():
+                return LPStatus.TIME_LIMIT
+            if watchdog is not None:
+                signal = watchdog.observe(
+                    ws.iterations,
+                    merit=float(c[ws.basis] @ ws.x_basic),
+                    vector=ws.x_basic,
+                )
+                # STALL/CYCLING are handled locally by the Bland switch
+                # below; only iterate corruption aborts the run.
+                if signal in (WatchdogSignal.NONFINITE, WatchdogSignal.DIVERGED):
+                    return LPStatus.NUMERICAL
         y = ws.btran(c[ws.basis])
         ws.hook.on_pricing(m, ws.a.shape[1])
         reduced = c - ws.a.T @ y

@@ -32,7 +32,8 @@ from repro.config import DEFAULT_CONFIG
 from repro.device import kernels as K
 from repro.device.gpu import Device
 from repro.device.spec import V100, DeviceSpec
-from repro.errors import LPError
+from repro.errors import LPError, ReproError
+from repro.guard import budget as guard_budget
 from repro.lp.dual_simplex import dual_simplex_resolve
 from repro.lp.pdhg import PDHGOptions
 from repro.lp.pdhg_batch import batch_compatible, solve_lp_pdhg_batch_on_device
@@ -64,6 +65,22 @@ class BatchedSolverOptions:
             self.simplex = SimplexOptions()
         if self.pdhg is None:
             self.pdhg = PDHGOptions()
+        if self.batch_size < 1:
+            raise ReproError(
+                f"batch_size must be at least 1, got {self.batch_size!r}"
+            )
+        if self.node_limit <= 0:
+            raise ReproError(
+                f"node_limit must be positive, got {self.node_limit!r}"
+            )
+        if not self.mip_gap >= 0:
+            raise ReproError(
+                f"mip_gap must be non-negative, got {self.mip_gap!r}"
+            )
+        if self.lp_engine not in ("simplex", "pdhg"):
+            raise ReproError(
+                f"lp_engine must be 'simplex' or 'pdhg', got {self.lp_engine!r}"
+            )
 
 
 @dataclass
@@ -128,7 +145,12 @@ class BatchedNodeSolver:
         # Open pool: (neg bound, node_id) sorted per round (best-first).
         pool: List[Tuple[float, int]] = [(-np.inf, 0)]
 
+        guard_ctx = guard_budget.active()
+        stopped: Optional[MIPStatus] = None
         while pool and self.stats.nodes_processed < options.node_limit:
+            if guard_ctx is not None and guard_ctx.deadline_hit():
+                stopped = MIPStatus.TIME_LIMIT
+                break
             pool.sort(key=lambda t: t[0])
             take = min(options.batch_size, len(pool))
             batch, pool = pool[:take], pool[take:]
@@ -154,6 +176,20 @@ class BatchedNodeSolver:
                 self.stats.lp_iterations += out.iterations
                 if out.status is LPStatus.INFEASIBLE:
                     node.tag = NodeTag.INFEASIBLE
+                    continue
+                if out.status in (
+                    LPStatus.TIME_LIMIT,
+                    LPStatus.ITERATION_LIMIT,
+                    LPStatus.NUMERICAL,
+                ):
+                    # Unresolved node: requeue it (keeps the final dual
+                    # bound sound) and stop with an anytime status.
+                    pool.append((-node.inherited_bound, node_id))
+                    stopped = (
+                        MIPStatus.TIME_LIMIT
+                        if out.status is LPStatus.TIME_LIMIT
+                        else MIPStatus.ITERATION_LIMIT
+                    )
                     continue
                 if out.status is not LPStatus.OPTIMAL:
                     node.tag = NodeTag.PRUNED  # conservative close-out
@@ -191,11 +227,16 @@ class BatchedNodeSolver:
                 for child in (down, up):
                     child.inherited_bound = node.lp_bound
                     pool.append((-node.lp_bound, child.node_id))
+            if stopped is not None:
+                break
 
         self.device.synchronize()
 
         open_bounds = [-b for b, _ in pool]
-        if pool and self.stats.nodes_processed >= options.node_limit:
+        if stopped is not None and pool:
+            status = stopped
+            best_bound = max([incumbent_obj] + open_bounds)
+        elif pool and self.stats.nodes_processed >= options.node_limit:
             status = MIPStatus.NODE_LIMIT
             best_bound = max([incumbent_obj] + open_bounds)
         elif incumbent_x is None:
@@ -324,7 +365,17 @@ class BatchedNodeSolver:
             except LPError:
                 pass
         self.stats.cold_starts += 1
-        return solve_standard_form(sf, options=self.options.simplex)
+        res = solve_standard_form(sf, options=self.options.simplex)
+        if res.status in (LPStatus.ITERATION_LIMIT, LPStatus.NUMERICAL):
+            from repro.guard.escalate import escalate_lp
+
+            outcome = escalate_lp(
+                sf, options=self.options.simplex, first=res, seed=node.node_id
+            )
+            if outcome.escalated:
+                self.stats.escalations += 1
+            res = outcome.result
+        return res
 
     def _dominated(self, bound: float, incumbent: float) -> bool:
         if not np.isfinite(bound):

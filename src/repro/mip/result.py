@@ -18,11 +18,26 @@ class MIPStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     NODE_LIMIT = "node_limit"
     UNBOUNDED = "unbounded"
+    #: Cooperative deadline budget (:mod:`repro.guard`) expired: the
+    #: result is *anytime* — best incumbent + certified dual bound + gap.
+    TIME_LIMIT = "time_limit"
+    #: LP iteration budgets exhausted even after escalation; the search
+    #: stopped early with an anytime incumbent/bound instead of raising.
+    ITERATION_LIMIT = "iteration_limit"
 
     @property
     def ok(self) -> bool:
         """True when optimality was proven."""
         return self is MIPStatus.OPTIMAL
+
+    @property
+    def anytime(self) -> bool:
+        """True for budget-exhausted statuses carrying a partial answer."""
+        return self in (
+            MIPStatus.NODE_LIMIT,
+            MIPStatus.TIME_LIMIT,
+            MIPStatus.ITERATION_LIMIT,
+        )
 
 
 @dataclass
@@ -42,6 +57,8 @@ class MIPStats:
     matrix_switches: int = 0
     #: Total tree distance travelled between consecutive nodes (§5.3).
     reuse_distance: int = 0
+    #: Guard escalation-ladder climbs triggered by unusable node LPs.
+    escalations: int = 0
 
 
 @dataclass

@@ -24,8 +24,15 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.config import DEFAULT_CONFIG, Config
-from repro.errors import LPError, MIPError, SolverCrashError
+from repro.errors import (
+    LPError,
+    MIPError,
+    NumericalInstabilityError,
+    ReproError,
+    SolverCrashError,
+)
 from repro.faults.injector import active as fault_active
+from repro.guard import budget as guard_budget
 from repro.lp.dual_simplex import dual_simplex_resolve
 from repro.lp.pdhg import NULL_PDHG_HOOK, PDHGCostHook, PDHGOptions, solve_standard_form_pdhg
 from repro.lp.problem import StandardFormLP
@@ -206,6 +213,29 @@ class SolverOptions:
     #: a crash-recovery driver resumes from the latest one delivered.
     checkpoint_fn: Optional[Callable] = None
 
+    def __post_init__(self):
+        if self.node_limit <= 0:
+            raise ReproError(
+                f"node_limit must be positive, got {self.node_limit!r}"
+            )
+        if not self.mip_gap >= 0:
+            raise ReproError(
+                f"mip_gap must be non-negative, got {self.mip_gap!r}"
+            )
+        if self.cut_rounds < 0:
+            raise ReproError(
+                f"cut_rounds must be non-negative, got {self.cut_rounds!r}"
+            )
+        if self.solution_pool_size < 1:
+            raise ReproError(
+                "solution_pool_size must be at least 1, "
+                f"got {self.solution_pool_size!r}"
+            )
+        if self.checkpoint_every < 0:
+            raise ReproError(
+                f"checkpoint_every must be non-negative, got {self.checkpoint_every!r}"
+            )
+
 
 class BranchAndBoundSolver:
     """Branch-and-cut for :class:`MIPProblem` (maximization)."""
@@ -319,11 +349,39 @@ class BranchAndBoundSolver:
                     status = MIPStatus.UNBOUNDED
                     return "break"
                 raise MIPError("non-root node relaxation unbounded")
-            if res.status is LPStatus.ITERATION_LIMIT:
-                raise MIPError(
-                    f"LP iteration limit hit at node {node_id}; "
-                    "raise SimplexOptions.max_iterations"
+            if res.status in (LPStatus.ITERATION_LIMIT, LPStatus.NUMERICAL):
+                res = self._escalate_node(sf, res, node_id)
+                if res.status is LPStatus.INFEASIBLE:
+                    node.tag = NodeTag.INFEASIBLE
+                    return None
+            if res.status is LPStatus.TIME_LIMIT:
+                # Anytime stop: leave the node OPEN so active_leaves()
+                # keeps its inherited bound in the final dual bound.
+                status = MIPStatus.TIME_LIMIT
+                return "break"
+            if res.status is not LPStatus.OPTIMAL:
+                if (
+                    res.status is LPStatus.NUMERICAL
+                    and incumbent_x is None
+                ):
+                    # Ladder exhausted and nothing anytime-worthy to
+                    # return — let repro.api walk the strategy
+                    # degradation chain (a different engine may be
+                    # numerically healthier on this instance).
+                    raise NumericalInstabilityError(
+                        engine=type(self.engine).__name__,
+                        signal="numerical",
+                        detail=f"node {node_id} LP unrecoverable "
+                        "after escalation",
+                    )
+                # Escalation ladder exhausted; stop with a structured
+                # anytime result instead of raising mid-search.
+                obs.event(
+                    "guard.mip_stop", category="guard",
+                    node=node_id, lp_status=res.status.value,
                 )
+                status = MIPStatus.ITERATION_LIMIT
+                return "break"
 
             node.lp_bound = res.objective
             node.warm_basis = res.basis
@@ -407,8 +465,12 @@ class BranchAndBoundSolver:
             return None
 
         injector = fault_active()
+        guard_ctx = guard_budget.active()
         last_checkpoint = -1
         while selector and self.stats.nodes_processed < options.node_limit:
+            if guard_ctx is not None and guard_ctx.deadline_hit():
+                status = MIPStatus.TIME_LIMIT
+                break
             node_id = selector.pop()
             with obs.span("mip.node", category="mip", node=node_id) as node_span:
                 flow = process_node(node_id, node_span)
@@ -439,6 +501,9 @@ class BranchAndBoundSolver:
         if status is MIPStatus.UNBOUNDED:
             result_status = status
             best_bound = np.inf
+        elif status is not None and status.anytime:
+            result_status = status
+            best_bound = max([incumbent_obj] + open_bounds)
         elif selector and self.stats.nodes_processed >= options.node_limit:
             result_status = MIPStatus.NODE_LIMIT
             best_bound = max([incumbent_obj] + open_bounds)
@@ -473,6 +538,25 @@ class BranchAndBoundSolver:
             f"cuts={self.stats.cuts_added}"
         )
         (options.log_fn or print)(line)
+
+    def _escalate_node(self, sf, first, node_id: int):
+        """Climb the guard ladder for a node LP that came back unusable.
+
+        Driver-level on purpose: strategy engines override
+        ``solve_relaxation``, so recovery here covers every engine.
+        """
+        from repro.guard.escalate import escalate_lp
+
+        outcome = escalate_lp(
+            sf,
+            options=self.options.simplex,
+            first=first,
+            seed=node_id,
+        )
+        if outcome.escalated:
+            self.stats.escalations += 1
+            self.stats.lp_iterations += outcome.result.iterations
+        return outcome.result
 
     def _dominated(self, bound: float, incumbent: float) -> bool:
         """True when a node bound cannot beat the incumbent."""

@@ -254,6 +254,30 @@ def render_chaos(report) -> str:
     )
 
 
+def render_guard(report) -> str:
+    """Per-case table of a :class:`repro.guard.gauntlet.GauntletReport`."""
+    rows = []
+    for run in report.runs:
+        rows.append(
+            (
+                "ok" if run.ok else "FAIL",
+                run.case,
+                run.expect,
+                run.outcome,
+                ",".join(run.repaired) if run.repaired else "-",
+                ",".join(f"{k}={v}" for k, v in sorted(run.counters.items()))
+                or "-",
+                run.detail[:48] if run.detail else "-",
+            )
+        )
+    failures = sum(1 for run in report.runs if not run.ok)
+    return render_table(
+        ["", "case", "expect", "outcome", "repaired", "guard", "detail"],
+        rows,
+        title=f"guard gauntlet: {len(report.runs)} cases, {failures} failures",
+    )
+
+
 def sparkline(values: Sequence[Number]) -> str:
     """One-line unicode sparkline of a series."""
     values = [float(v) for v in values]

@@ -57,8 +57,12 @@ class Outcome(enum.Enum):
     OK = "ok"
     #: The request's queue timeout elapsed before its batch was formed.
     TIMEOUT = "timeout"
-    #: The solver failed to reach a terminal answer (iteration limit, …).
+    #: The solver failed to reach a terminal answer (crash, numerics, …).
     FAILED = "failed"
+    #: A budget (deadline / node / iteration limit) stopped the solve;
+    #: the response carries the anytime answer: best incumbent, the
+    #: certified dual bound, and the gap between them.
+    PARTIAL = "partial"
 
 
 @dataclass
@@ -70,6 +74,10 @@ class SolveRequest:
     arrival_time: float = 0.0
     #: Max simulated seconds the request may wait in queue (None = forever).
     timeout: Optional[float] = None
+    #: Max simulated *device* seconds the solve itself may spend (None =
+    #: unlimited).  A mid-solve expiry yields ``Outcome.PARTIAL`` with
+    #: the anytime incumbent, dual bound, and gap — never a hang.
+    solve_deadline: Optional[float] = None
     #: Assigned by the service at admission.
     request_id: int = -1
     #: Canonical content hash; computed by the service at admission.
@@ -106,6 +114,11 @@ class SolveResponse:
     solver_status: str = ""
     objective: float = float("nan")
     x: Optional[np.ndarray] = None
+    #: Certified dual bound (== objective when optimal; finite on PARTIAL).
+    best_bound: float = float("inf")
+    #: Relative optimality gap (0 when optimal; finite on PARTIAL with
+    #: an incumbent).
+    gap: float = float("inf")
     arrival_time: float = 0.0
     dispatch_time: float = 0.0
     start_time: float = 0.0
@@ -156,6 +169,12 @@ class SolveResponse:
             "outcome": self.outcome.value,
             "request_id": self.request_id,
             "trace_id": self.trace_id,
+            "bounds": {
+                "best_bound": (
+                    None if not np.isfinite(self.best_bound) else float(self.best_bound)
+                ),
+                "gap": None if not np.isfinite(self.gap) else float(self.gap),
+            },
             "cached": self.cached,
             "coalesced": self.coalesced,
             "batch_size": self.batch_size,
@@ -170,7 +189,11 @@ class SolveResponse:
         }
 
     def raise_for_outcome(self) -> None:
-        """Raise the typed error matching a non-OK outcome (no-op if OK)."""
+        """Raise the typed error matching a non-OK outcome.
+
+        No-op for OK and for PARTIAL — a partial response is a usable
+        anytime answer (check :attr:`gap` to decide if it is enough).
+        """
         if self.outcome is Outcome.TIMEOUT:
             raise RequestTimeout(self.request_id, self.queue_wait)
         if self.outcome is Outcome.FAILED:

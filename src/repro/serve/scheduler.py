@@ -32,6 +32,7 @@ from repro.device.gpu import Device
 from repro.device.spec import DeviceSpec, V100
 from repro.errors import FaultError, SolverError
 from repro.faults.injector import active as fault_active
+from repro.guard.budget import DeadlineBudget, GuardContext, guarding
 from repro.lp.batch_simplex import solve_lp_batch_on_device
 from repro.lp.result import LPStatus
 from repro.metrics import Metrics
@@ -42,6 +43,8 @@ from repro.serve.request import Outcome, SolveRequest, SolveResponse
 #: Solver statuses that count as a terminal serving answer.
 _TERMINAL_LP = (LPStatus.OPTIMAL, LPStatus.INFEASIBLE, LPStatus.UNBOUNDED)
 _TERMINAL_MIP = (MIPStatus.OPTIMAL, MIPStatus.INFEASIBLE, MIPStatus.UNBOUNDED)
+#: LP statuses that still carry a usable anytime answer.
+_ANYTIME_LP = (LPStatus.ITERATION_LIMIT, LPStatus.TIME_LIMIT)
 
 
 @dataclass
@@ -110,8 +113,10 @@ class WorkerPool:
         start = max(when, device.clock.now)
         device.clock.advance_to(start)
 
+        # Deadline-carrying members need their own guard context, so
+        # they take the concurrent per-member path, never the fused one.
         lockstep = batch[0].kind == "lp" and all(
-            req.kind == "lp" for req in batch
+            req.kind == "lp" and req.solve_deadline is None for req in batch
         ) and self._lockstep_capable(batch)
 
         injector = fault_active()
@@ -165,7 +170,9 @@ class WorkerPool:
         self.metrics.add_time("time.serve.device", completion - start)
 
         responses = []
-        for req, (outcome, status, objective, x) in zip(completed, outcomes):
+        for req, (outcome, status, objective, x, bound, gap) in zip(
+            completed, outcomes
+        ):
             responses.append(
                 SolveResponse(
                     request_id=req.request_id,
@@ -174,6 +181,8 @@ class WorkerPool:
                     solver_status=status,
                     objective=objective,
                     x=x,
+                    best_bound=bound,
+                    gap=gap,
                     arrival_time=req.arrival_time,
                     dispatch_time=when,
                     start_time=start,
@@ -210,7 +219,7 @@ class WorkerPool:
 
     def _run_lockstep(
         self, device: Device, batch: List[SolveRequest]
-    ) -> List[Tuple[Outcome, str, float, Optional[np.ndarray]]]:
+    ) -> List[Tuple[Outcome, str, float, Optional[np.ndarray], float, float]]:
         res = solve_lp_batch_on_device([req.problem for req in batch], device)
         out = []
         for t in range(len(batch)):
@@ -218,7 +227,9 @@ class WorkerPool:
             outcome = Outcome.OK if status in _TERMINAL_LP else Outcome.FAILED
             x = res.x[t] if status is LPStatus.OPTIMAL else None
             objective = float(res.objectives[t])
-            out.append((outcome, status.value, objective, x))
+            bound = objective if status is LPStatus.OPTIMAL else float("inf")
+            gap = 0.0 if status is LPStatus.OPTIMAL else float("inf")
+            out.append((outcome, status.value, objective, x, bound, gap))
         return out
 
     def _run_concurrent(
@@ -228,7 +239,7 @@ class WorkerPool:
         crash_at: Optional[int] = None,
     ) -> Tuple[
         List[SolveRequest],
-        List[Tuple[Outcome, str, float, Optional[np.ndarray]]],
+        List[Tuple[Outcome, str, float, Optional[np.ndarray], float, float]],
         List[SolveRequest],
         int,
     ]:
@@ -241,7 +252,7 @@ class WorkerPool:
         Returns ``(completed, outcomes, requeue, pending_faults)``.
         """
         completed: List[SolveRequest] = []
-        out: List[Tuple[Outcome, str, float, Optional[np.ndarray]]] = []
+        out: List[Tuple[Outcome, str, float, Optional[np.ndarray], float, float]] = []
         requeue: List[SolveRequest] = []
         pending_faults = 0
         busy_times = []
@@ -261,10 +272,7 @@ class WorkerPool:
                 scratch.obs_track = device.obs_track
             member_start = scratch.clock.now
             try:
-                if isinstance(req.problem, MIPProblem):
-                    result = self._solve_mip(req.problem, scratch)
-                else:
-                    result = self._solve_solo_lp(req.problem, scratch)
+                result = self._solve_member(req, scratch)
             except FaultError as exc:
                 pending_faults += exc.fault_count
                 busy_times.append(scratch.clock.now - member_start)
@@ -272,7 +280,10 @@ class WorkerPool:
                 requeue.append(req)
                 continue
             except SolverError as exc:
-                result = (Outcome.FAILED, type(exc).__name__, float("nan"), None)
+                result = (
+                    Outcome.FAILED, type(exc).__name__, float("nan"), None,
+                    float("inf"), float("inf"),
+                )
             busy_times.append(scratch.clock.now - member_start)
             device.metrics.merge(scratch.metrics)
             completed.append(req)
@@ -283,6 +294,35 @@ class WorkerPool:
         device.clock.advance(elapsed)
         return completed, out, requeue, pending_faults
 
+    def _solve_member(self, req: SolveRequest, scratch: Device):
+        """One member solve, under its deadline budget when it has one.
+
+        The budget's clock is the scratch device's *simulated* clock, so
+        expiry tracks metered kernel time, not host wall time — the
+        member stops mid-search with an anytime answer once its charged
+        device seconds exceed ``solve_deadline``.
+        """
+        if isinstance(req.problem, MIPProblem):
+            run = lambda: self._solve_mip(req.problem, scratch)
+        else:
+            run = lambda: self._solve_solo_lp(req.problem, scratch)
+        if req.solve_deadline is None:
+            return run()
+        ctx = GuardContext(
+            budgets=[
+                DeadlineBudget(
+                    req.solve_deadline,
+                    clock=lambda: scratch.clock.now,
+                    label="serve-sim",
+                )
+            ]
+        )
+        with guarding(ctx):
+            result = run()
+        if ctx.deadline_hit():
+            self.metrics.inc("serve.deadline_hits")
+        return result
+
     def _solve_mip(self, problem: MIPProblem, scratch: Device):
         from repro.api import SolveOptions, solve
 
@@ -290,16 +330,29 @@ class WorkerPool:
             problem,
             SolveOptions(device=scratch, mip_node_batch=self.mip_node_batch),
         )
-        terminal = report.result is not None and report.result.status in _TERMINAL_MIP
-        outcome = Outcome.OK if terminal else Outcome.FAILED
-        return (outcome, report.status, report.objective, report.x)
+        status = report.result.status if report.result is not None else None
+        if status in _TERMINAL_MIP:
+            outcome = Outcome.OK
+        elif status is not None and status.anytime:
+            outcome = Outcome.PARTIAL
+        else:
+            outcome = Outcome.FAILED
+        return (
+            outcome, report.status, report.objective, report.x,
+            report.best_bound, report.gap,
+        )
 
     def _solve_solo_lp(self, problem, scratch: Device):
         from repro.api import SolveOptions, solve
 
         report = solve(problem, SolveOptions(device=scratch))
-        terminal = (
-            report.lp_result is not None and report.lp_result.status in _TERMINAL_LP
-        )
-        outcome = Outcome.OK if terminal else Outcome.FAILED
-        return (outcome, report.status, report.objective, report.x)
+        status = report.lp_result.status if report.lp_result is not None else None
+        if status in _TERMINAL_LP:
+            outcome = Outcome.OK
+        elif status in _ANYTIME_LP:
+            outcome = Outcome.PARTIAL
+        else:
+            outcome = Outcome.FAILED
+        bound = report.objective if status is LPStatus.OPTIMAL else float("inf")
+        gap = 0.0 if status is LPStatus.OPTIMAL else float("inf")
+        return (outcome, report.status, report.objective, report.x, bound, gap)

@@ -76,6 +76,7 @@ class SolveService:
         problem: Problem,
         at: Optional[float] = None,
         timeout: Optional[float] = None,
+        solve_deadline: Optional[float] = None,
     ) -> int:
         """Admit one request arriving at simulated time ``at``.
 
@@ -101,6 +102,7 @@ class SolveService:
             problem=problem,
             arrival_time=at,
             timeout=timeout,
+            solve_deadline=solve_deadline,
             request_id=rid,
             fingerprint=fp,
             trace_id=f"req-{rid:06d}",
@@ -333,6 +335,8 @@ class SolveService:
                 solver_status=response.solver_status,
                 objective=response.objective,
                 x=response.x,
+                best_bound=response.best_bound,
+                gap=response.gap,
                 arrival_time=follower.arrival_time,
                 dispatch_time=response.dispatch_time,
                 start_time=response.start_time,
@@ -350,6 +354,8 @@ class SolveService:
         self._responses[response.request_id] = response
         if response.outcome is Outcome.OK:
             self.metrics.inc("serve.completed")
+        elif response.outcome is Outcome.PARTIAL:
+            self.metrics.inc("serve.partial")
         elif response.outcome is Outcome.FAILED:
             self.metrics.inc("serve.failed")
         self.metrics.add_time("time.serve.queue_wait", max(0.0, response.queue_wait))

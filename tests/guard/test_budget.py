@@ -1,0 +1,130 @@
+"""Deadline budgets, the guard context, and the nesting protocol."""
+
+import pytest
+
+from repro.errors import DeadlineExpired, ReproError
+from repro.guard.budget import (
+    DeadlineBudget,
+    GuardContext,
+    ManualClock,
+    active,
+    deadline_hit,
+    guarding,
+)
+
+
+class TestManualClock:
+    def test_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(2.5)
+        assert clock() == 2.5
+
+    def test_rejects_backwards(self):
+        with pytest.raises(ReproError):
+            ManualClock().advance(-1.0)
+
+
+class TestDeadlineBudget:
+    def test_rejects_nonpositive_seconds(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ReproError):
+                DeadlineBudget(bad)
+
+    def test_elapsed_remaining(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(10.0, clock=clock)
+        clock.advance(3.0)
+        assert budget.elapsed() == 3.0
+        assert budget.remaining() == 7.0
+        clock.advance(100.0)
+        assert budget.remaining() == 0.0
+
+    def test_expired_is_sticky(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(1.0, clock=clock)
+        assert not budget.expired()
+        clock.advance(1.0)
+        assert budget.expired()
+        # A fresh wrapper over the same clock would not be expired, but
+        # this one stays expired no matter what the clock says.
+        budget.start = clock()
+        assert budget.expired()
+
+    def test_check_raises_on_expiry(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(0.5, clock=clock)
+        budget.check("setup")  # within budget: no-op
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExpired):
+            budget.check("setup")
+
+
+class TestGuardContext:
+    def expired_budget(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(0.5, clock=clock, label="test")
+        clock.advance(1.0)
+        return budget
+
+    def test_unguarded_defaults(self):
+        ctx = GuardContext()
+        assert not ctx.deadline_hit()
+        assert ctx.remaining() == float("inf")
+        assert ctx.summary() == {"counters": {}, "events": []}
+
+    def test_deadline_hit_records_event(self):
+        ctx = GuardContext(budgets=[self.expired_budget()])
+        assert ctx.deadline_hit()
+        assert ctx.counters["deadline"] == 1
+        # Sticky, and the event is not re-recorded on later polls.
+        assert ctx.deadline_hit()
+        assert ctx.counters["deadline"] == 1
+        assert ctx.summary()["events"][0]["kind"] == "deadline"
+
+    def test_tightest_budget_wins(self):
+        clock = ManualClock()
+        ctx = GuardContext(
+            budgets=[
+                DeadlineBudget(10.0, clock=clock),
+                DeadlineBudget(2.0, clock=clock),
+            ]
+        )
+        clock.advance(1.0)
+        assert ctx.remaining() == 1.0
+
+
+class TestGuarding:
+    def test_install_and_restore(self):
+        assert active() is None
+        with guarding() as ctx:
+            assert active() is ctx
+        assert active() is None
+        assert not deadline_hit()
+
+    def test_restore_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with guarding():
+                raise RuntimeError("boom")
+        assert active() is None
+
+    def test_nested_context_adopts_outer_budgets(self):
+        clock = ManualClock()
+        outer_budget = DeadlineBudget(1.0, clock=clock, label="outer")
+        with guarding(GuardContext(budgets=[outer_budget])):
+            with guarding(GuardContext()) as inner:
+                assert outer_budget in inner.budgets
+                clock.advance(2.0)
+                # The outer deadline binds inside the inner context.
+                assert inner.deadline_hit()
+                assert deadline_hit()
+
+    def test_adopt_does_not_duplicate(self):
+        budget = self.make_budget()
+        ctx = GuardContext(budgets=[budget])
+        ctx.adopt(budget)
+        assert ctx.budgets == [budget]
+
+    @staticmethod
+    def make_budget():
+        return DeadlineBudget(1.0, clock=ManualClock())

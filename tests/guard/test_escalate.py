@@ -1,0 +1,99 @@
+"""Escalation ladder: rung semantics and climb control."""
+
+import numpy as np
+import pytest
+
+from repro.guard.budget import DeadlineBudget, GuardContext, ManualClock, guarding
+from repro.guard.escalate import (
+    LADDER,
+    escalate_lp,
+    perturb_standard_form,
+    rescale_standard_form,
+)
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.simplex import SimplexOptions, solve_standard_form
+
+
+def make_sf(seed=0, n=8, m=5):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.1, 1.0, (m, n))
+    b = a @ np.ones(n) + rng.uniform(0.5, 1.0, m)
+    lp = LinearProgram(
+        c=rng.uniform(0.5, 2.0, n),
+        a_ub=a,
+        b_ub=b,
+        lb=np.zeros(n),
+        ub=np.full(n, 3.0),
+    )
+    return lp.to_standard_form()
+
+
+class TestRungs:
+    def test_rescale_preserves_optimum_and_duals(self):
+        sf = make_sf(seed=3)
+        base = solve_standard_form(sf)
+        scaled, scale = rescale_standard_form(sf)
+        res = solve_standard_form(scaled)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(base.objective, rel=1e-9)
+        assert np.all(scale > 0)
+        # Mapped-back duals satisfy the original complementary pricing.
+        np.testing.assert_allclose(res.duals / scale, base.duals, atol=1e-7)
+
+    def test_perturb_is_seeded_and_tiny(self):
+        sf = make_sf(seed=4)
+        p1 = perturb_standard_form(sf, seed=7)
+        p2 = perturb_standard_form(sf, seed=7)
+        np.testing.assert_array_equal(p1.c, p2.c)
+        assert np.max(np.abs(p1.c - sf.c)) <= 1e-7 * max(1.0, np.max(np.abs(sf.c)))
+        # A different seed gives a different tie-break.
+        p3 = perturb_standard_form(sf, seed=8)
+        assert np.any(p3.c != p1.c)
+
+
+class TestClimb:
+    def test_usable_first_result_skips_ladder(self):
+        sf = make_sf(seed=1)
+        outcome = escalate_lp(sf)
+        assert outcome.result.status is LPStatus.OPTIMAL
+        assert not outcome.escalated
+
+    def test_iteration_limit_escalates_to_usable(self):
+        sf = make_sf(seed=2, n=20, m=12)
+        options = SimplexOptions(max_iterations=1)
+        first = solve_standard_form(sf, options=options)
+        assert first.status is LPStatus.ITERATION_LIMIT
+        with guarding(GuardContext()) as ctx:
+            outcome = escalate_lp(sf, options=options, first=first)
+        assert outcome.escalated
+        assert all(step in LADDER for step in outcome.steps)
+        assert outcome.result.status is LPStatus.OPTIMAL
+        # Every climbed rung left a guard event.
+        assert ctx.counters["escalate"] == len(outcome.steps)
+        # The escalated objective matches an unconstrained solve.
+        reference = solve_standard_form(sf)
+        assert outcome.result.objective == pytest.approx(
+            reference.objective, rel=1e-5
+        )
+
+    def test_expired_budget_stops_the_climb(self):
+        sf = make_sf(seed=5)
+        clock = ManualClock()
+        budget = DeadlineBudget(0.5, clock=clock)
+        clock.advance(1.0)
+        first = LPResult(status=LPStatus.ITERATION_LIMIT, iterations=10)
+        with guarding(GuardContext(budgets=[budget])):
+            outcome = escalate_lp(sf, first=first)
+        assert outcome.steps == []
+        assert outcome.result is first
+
+    def test_ladder_always_returns_a_result(self):
+        # Even when every rung is starved to one iteration the ladder
+        # must come back with the least-bad result, never raise.
+        sf = make_sf(seed=6, n=10, m=6)
+        options = SimplexOptions(max_iterations=1)
+        first = solve_standard_form(sf, options=options)
+        outcome = escalate_lp(sf, options=options, first=first)
+        assert outcome.result is not None
+        assert isinstance(outcome.result.status, LPStatus)

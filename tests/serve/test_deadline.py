@@ -1,0 +1,98 @@
+"""Per-request solve deadlines through the serving stack.
+
+A ``solve_deadline`` budgets *solve* time on the device's simulated
+clock; when it expires mid-search the member comes back as
+``Outcome.PARTIAL`` with the anytime incumbent, certified dual bound,
+and gap — and partial answers must never poison the result cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.problems.knapsack import generate_knapsack, knapsack_dp_optimal
+from repro.serve import BatchingPolicy, Outcome, SolveService
+
+
+def make_service(**kwargs):
+    return SolveService(policy=BatchingPolicy(max_batch_size=4), **kwargs)
+
+
+def hard_mip():
+    return generate_knapsack(20, seed=11, correlation="strong")
+
+
+class TestPartialOutcome:
+    def test_deadline_hit_returns_partial(self):
+        service = make_service()
+        service.submit(hard_mip(), at=0.0, solve_deadline=1e-4)
+        service.drain()
+        response = service.result(0)
+        assert response.outcome is Outcome.PARTIAL
+        assert response.solver_status == "time_limit"
+        assert np.isfinite(response.best_bound)
+        assert response.gap >= 0.0
+        # PARTIAL is a structured answer, not an error.
+        response.raise_for_outcome()
+
+    def test_partial_bound_is_sound(self):
+        problem = hard_mip()
+        optimum, _ = knapsack_dp_optimal(problem)
+        service = make_service()
+        service.submit(problem, at=0.0, solve_deadline=1e-4)
+        service.drain()
+        response = service.result(0)
+        assert response.best_bound >= optimum - 1e-9
+        if np.isfinite(response.objective):
+            assert response.objective <= optimum + 1e-9
+
+    def test_generous_deadline_still_ok(self):
+        problem = generate_knapsack(12, seed=3)
+        optimum, _ = knapsack_dp_optimal(problem)
+        service = make_service()
+        service.submit(problem, at=0.0, solve_deadline=1e6)
+        service.drain()
+        response = service.result(0)
+        assert response.outcome is Outcome.OK
+        assert response.objective == pytest.approx(optimum)
+        assert response.gap == pytest.approx(0.0)
+
+    def test_no_deadline_unaffected(self):
+        problem = generate_knapsack(12, seed=3)
+        service = make_service()
+        service.submit(problem, at=0.0)
+        service.drain()
+        assert service.result(0).outcome is Outcome.OK
+
+    def test_partial_counted_in_metrics(self):
+        service = make_service()
+        service.submit(hard_mip(), at=0.0, solve_deadline=1e-4)
+        service.drain()
+        snapshot = service.metrics.to_dict()["counters"]
+        assert snapshot.get("serve.partial", 0) == 1
+        assert snapshot.get("serve.deadline_hits", 0) == 1
+
+
+class TestCacheHygiene:
+    def test_partials_are_never_cached(self):
+        # Small enough to re-solve exactly in well under a second, hard
+        # enough that 1e-4 device-seconds still stops it partway.
+        problem = generate_knapsack(14, seed=4, correlation="strong")
+        service = make_service()
+        service.submit(problem, at=0.0, solve_deadline=1e-4)
+        service.drain()
+        assert service.result(0).outcome is Outcome.PARTIAL
+        # An identical later request must re-solve, not replay the
+        # partial answer from cache.
+        service.submit(problem, at=service.now + 1.0)
+        service.drain()
+        second = service.result(1)
+        assert not second.cached
+        assert second.outcome is Outcome.OK
+
+    def test_bounds_survive_serialization(self):
+        service = make_service()
+        service.submit(hard_mip(), at=0.0, solve_deadline=1e-4)
+        service.drain()
+        data = service.result(0).to_dict()
+        assert data["outcome"] == "partial"
+        assert data["bounds"]["best_bound"] is not None
