@@ -29,6 +29,8 @@ from repro.check.differential import (
     SolverRun,
     differential_lp,
     differential_mip,
+    differential_warm_lp,
+    differential_warm_mip,
 )
 from repro.check.fuzz import FuzzFailure, FuzzOptions, FuzzReport, replay_repro, run_fuzz
 from repro.check.metamorphic import (
@@ -59,6 +61,8 @@ __all__ = [
     "check_metamorphic",
     "differential_lp",
     "differential_mip",
+    "differential_warm_lp",
+    "differential_warm_mip",
     "load_repro",
     "metamorphic_variants",
     "problem_from_dict",

@@ -28,6 +28,7 @@ from repro.lp.pdhg import PDHGOptions, solve_lp_pdhg
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPStatus
 from repro.lp.simplex import solve_lp
+from repro.lp.warm import state_from_result, warm_resolve
 from repro.mip.problem import MIPProblem
 from repro.mip.result import MIPStatus
 from repro.mip.solver import BranchAndBoundSolver, SolverOptions
@@ -234,14 +235,25 @@ def differential_lp(
 
 
 #: Branch-and-bound configurations with genuinely different search paths:
-#: (name, node_selection, branching, cut_rounds, node_lp).
+#: (name, node_selection, branching, cut_rounds, node_lp, warm_start).
 _MIP_CONFIGS = (
-    ("bb/best_first+pseudocost", "best_first", "pseudocost", 0, "simplex"),
-    ("bb/depth_first+most_fractional", "depth_first", "most_fractional", 0, "simplex"),
-    ("bb/best_first+cuts", "best_first", "pseudocost", 2, "simplex"),
+    ("bb/best_first+pseudocost", "best_first", "pseudocost", 0, "simplex", True),
+    (
+        "bb/depth_first+most_fractional",
+        "depth_first",
+        "most_fractional",
+        0,
+        "simplex",
+        True,
+    ),
+    ("bb/best_first+cuts", "best_first", "pseudocost", 2, "simplex", True),
     # Node relaxations by restarted PDHG with padded bounds — a wholly
     # different LP algorithm must still land on the same MIP optimum.
-    ("bb/pdhg_nodes", "best_first", "pseudocost", 0, "pdhg"),
+    ("bb/pdhg_nodes", "best_first", "pseudocost", 0, "pdhg", True),
+    # Every node LP from scratch — the warm-start reuse path (parent
+    # basis + resident factorization) must change pivot counts only,
+    # never the optimum.
+    ("bb/cold_nodes", "best_first", "pseudocost", 0, "simplex", False),
 )
 
 
@@ -260,13 +272,14 @@ def differential_mip(
     """
     report = DifferentialReport(problem_name=problem.name)
 
-    for name, selection, branching, cut_rounds, node_lp in _MIP_CONFIGS:
+    for name, selection, branching, cut_rounds, node_lp, warm_start in _MIP_CONFIGS:
         options = SolverOptions(
             node_selection=selection,
             branching=branching,
             cut_rounds=cut_rounds,
             node_limit=node_limit,
             node_lp=node_lp,
+            warm_start=warm_start,
         )
         result = BranchAndBoundSolver(problem, options).solve()
         report.runs.append(
@@ -295,4 +308,265 @@ def differential_mip(
         )
 
     report._compare_pairs(rtol)
+    return report
+
+
+def _compare_warm_pair(
+    report: DifferentialReport,
+    cold: SolverRun,
+    warm: SolverRun,
+    rtol: float,
+) -> None:
+    """Flag one cold/warm pair (same instance) that contradicts itself.
+
+    The warm lane compares *per instance*, not all-pairs: each perturbed
+    problem has its own optimum, so only its own cold/warm runs may be
+    held against each other.
+    """
+    if not (cold.conclusive and warm.conclusive):
+        return
+    if cold.status != warm.status:
+        report.disagreements.append(
+            Disagreement(
+                left=cold.name,
+                right=warm.name,
+                kind="status",
+                left_value=cold.status,
+                right_value=warm.status,
+            )
+        )
+        return
+    if cold.status != "optimal":
+        return
+    scale = 1.0 + max(abs(cold.objective), abs(warm.objective))
+    delta = abs(cold.objective - warm.objective)
+    if delta > rtol * scale:
+        report.disagreements.append(
+            Disagreement(
+                left=cold.name,
+                right=warm.name,
+                kind="objective",
+                left_value=f"{cold.objective:.12g}",
+                right_value=f"{warm.objective:.12g}",
+                delta=delta,
+            )
+        )
+
+
+def _finite_lp_data(lp: LinearProgram) -> bool:
+    """True when every coefficient is finite (bounds may be ±inf)."""
+    for arr in (lp.c, lp.a_ub, lp.b_ub, lp.a_eq, lp.b_eq):
+        if arr is not None and not np.all(np.isfinite(arr)):
+            return False
+    for arr in (lp.lb, lp.ub):
+        if arr is not None and np.any(np.isnan(arr)):
+            return False
+    return True
+
+
+def differential_warm_lp(
+    lp: LinearProgram,
+    rtol: float = DIFFERENTIAL_RTOL,
+    perturbations: int = 3,
+    seed: int = 0,
+    rel_scale: float = 0.05,
+) -> DifferentialReport:
+    """Warm-vs-cold lane: re-solves from a stale basis must agree cold.
+
+    Solves ``lp`` cold, captures its optimal basis as warm state, then
+    for the instance itself and ``perturbations`` random rhs/objective
+    perturbations (the §5.3 reuse regime: same constraint matrix,
+    moved data) compares a cold solve against a warm dual-simplex
+    re-solve from that *original* basis.  Each perturbed instance is
+    compared only against its own pair — different perturbations have
+    different optima.  An OPTIMAL warm answer that fails the
+    from-scratch KKT audit is itself a disagreement (``kind="audit"``):
+    in production the cold fallback would mask it, here it must surface.
+    """
+    report = DifferentialReport(
+        problem_name=f"{getattr(lp, 'name', 'lp')}/warm"
+    )
+    if not _finite_lp_data(lp):
+        # NaN/Inf coefficients are the sanitize layer's to reject; an
+        # unguarded solve of them returns garbage on *both* lanes, so
+        # there is no warm-vs-cold claim to test.
+        report.runs.append(
+            SolverRun(
+                name="skipped",
+                status="rejected",
+                objective=float("nan"),
+                conclusive=False,
+                note="non-finite input data; repro.guard.sanitize owns this",
+            )
+        )
+        return report
+    cold0 = solve_lp(lp)
+    run0 = SolverRun(
+        name="cold[base]",
+        status=cold0.status.value,
+        objective=cold0.objective,
+        conclusive=cold0.status in _TERMINAL_LP,
+    )
+    report.runs.append(run0)
+    if cold0.status is not LPStatus.OPTIMAL or cold0.basis is None:
+        return report
+    sf0 = lp.to_standard_form()
+    state = state_from_result(sf0, cold0)
+
+    def check_pair(tag: str, instance: LinearProgram, cold_run: SolverRun) -> None:
+        sf = instance.to_standard_form()
+        warm_name = f"warm[{tag}]"
+        if sf.a.shape != sf0.a.shape:
+            report.runs.append(
+                SolverRun(
+                    name=warm_name,
+                    status="skipped",
+                    objective=float("nan"),
+                    conclusive=False,
+                    note="structure changed; warm state not applicable",
+                )
+            )
+            return
+        outcome = warm_resolve(sf, state)
+        if outcome is None:
+            report.runs.append(
+                SolverRun(
+                    name=warm_name,
+                    status="unusable",
+                    objective=float("nan"),
+                    conclusive=False,
+                    note="warm state could not seed the re-solve",
+                )
+            )
+            return
+        if outcome.audit_failed:
+            report.runs.append(
+                SolverRun(
+                    name=warm_name,
+                    status="audit_failed",
+                    objective=outcome.result.objective,
+                    conclusive=False,
+                    note="OPTIMAL answer failed the from-scratch KKT audit",
+                )
+            )
+            report.disagreements.append(
+                Disagreement(
+                    left=cold_run.name,
+                    right=warm_name,
+                    kind="audit",
+                    left_value=cold_run.status,
+                    right_value="audit_failed",
+                )
+            )
+            return
+        res = outcome.result
+        warm_run = SolverRun(
+            name=warm_name,
+            status=res.status.value,
+            objective=res.objective,
+            conclusive=res.status in _TERMINAL_LP,
+            note="reused factors" if outcome.reused_factors else "",
+        )
+        report.runs.append(warm_run)
+        _compare_warm_pair(report, cold_run, warm_run, rtol)
+
+    check_pair("base", lp, run0)
+
+    rng = np.random.default_rng(seed)
+    for i in range(perturbations):
+        b_ub = None if lp.b_ub is None else np.array(lp.b_ub, dtype=np.float64)
+        b_eq = None if lp.b_eq is None else np.array(lp.b_eq, dtype=np.float64)
+        c = np.array(lp.c, dtype=np.float64)
+        if i % 2 == 0:
+            # rhs move: additive noise scaled to each row's magnitude.
+            if b_ub is not None:
+                b_ub += rel_scale * rng.uniform(-1, 1, b_ub.shape) * (
+                    1.0 + np.abs(b_ub)
+                )
+            if b_eq is not None:
+                b_eq += rel_scale * rng.uniform(-1, 1, b_eq.shape) * (
+                    1.0 + np.abs(b_eq)
+                )
+        else:
+            # objective move: the dual-feasibility side of the reuse.
+            c += rel_scale * rng.uniform(-1, 1, c.shape) * (1.0 + np.abs(c))
+        perturbed = LinearProgram(
+            c=c,
+            a_ub=lp.a_ub,
+            b_ub=b_ub,
+            a_eq=lp.a_eq,
+            b_eq=b_eq,
+            lb=lp.lb,
+            ub=lp.ub,
+        )
+        cold_i = solve_lp(perturbed)
+        cold_run = SolverRun(
+            name=f"cold[{i}]",
+            status=cold_i.status.value,
+            objective=cold_i.objective,
+            conclusive=cold_i.status in _TERMINAL_LP,
+        )
+        report.runs.append(cold_run)
+        check_pair(str(i), perturbed, cold_run)
+    return report
+
+
+def differential_warm_mip(
+    problem: MIPProblem,
+    rtol: float = DIFFERENTIAL_RTOL,
+    node_limit: int = 50_000,
+) -> DifferentialReport:
+    """Warm-vs-cold branch and bound, plus warm-run determinism.
+
+    Three runs of the same configuration: warm starts on (twice) and
+    off.  Warm vs cold must agree on status and objective (the reuse
+    path may only change pivot counts); the two warm runs must be *bit
+    identical* in incumbent objective, dual bound, and node count —
+    warm-start state is keyed by node id and must not introduce any
+    run-to-run nondeterminism (``kind="determinism"``).
+    """
+    report = DifferentialReport(problem_name=f"{problem.name}/warm")
+
+    def run(name: str, warm_start: bool):
+        options = SolverOptions(node_limit=node_limit, warm_start=warm_start)
+        result = BranchAndBoundSolver(problem, options).solve()
+        sr = SolverRun(
+            name=name,
+            status=result.status.value,
+            objective=result.objective,
+            conclusive=result.status in _TERMINAL_MIP,
+            note=(
+                f"{result.stats.nodes_processed} nodes, "
+                f"bound {result.best_bound:.12g}"
+            ),
+        )
+        report.runs.append(sr)
+        return result, sr
+
+    warm1, warm1_run = run("bb/warm", True)
+    warm2, _ = run("bb/warm#2", True)
+    cold, cold_run = run("bb/cold", False)
+
+    if (
+        warm1.status is not warm2.status
+        or repr(warm1.objective) != repr(warm2.objective)
+        or repr(warm1.best_bound) != repr(warm2.best_bound)
+        or warm1.stats.nodes_processed != warm2.stats.nodes_processed
+    ):
+        report.disagreements.append(
+            Disagreement(
+                left="bb/warm",
+                right="bb/warm#2",
+                kind="determinism",
+                left_value=(
+                    f"{warm1.status.value}/{warm1.objective!r}/"
+                    f"{warm1.best_bound!r}/{warm1.stats.nodes_processed}"
+                ),
+                right_value=(
+                    f"{warm2.status.value}/{warm2.objective!r}/"
+                    f"{warm2.best_bound!r}/{warm2.stats.nodes_processed}"
+                ),
+            )
+        )
+    _compare_warm_pair(report, cold_run, warm1_run, rtol)
     return report

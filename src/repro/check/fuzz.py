@@ -27,7 +27,11 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.check.certificates import certify_mip_result
-from repro.check.differential import differential_lp, differential_mip
+from repro.check.differential import (
+    differential_lp,
+    differential_mip,
+    differential_warm_mip,
+)
 from repro.check.metamorphic import check_metamorphic
 from repro.check.serialize import load_repro, save_repro
 from repro.check.shrinker import shrink
@@ -53,6 +57,8 @@ class FuzzOptions:
     certificates: bool = True
     differential: bool = True
     lp_differential: bool = True
+    #: Warm-vs-cold branch and bound (plus warm determinism) oracle.
+    warm_differential: bool = True
     metamorphic: bool = True
     #: Metamorphic variants sampled per instance (None = all applicable).
     metamorphic_variants: Optional[int] = 3
@@ -66,7 +72,7 @@ class FuzzOptions:
 class FuzzFailure:
     """One confirmed check failure, after shrinking."""
 
-    kind: str  # "certificate" | "differential" | "lp_differential" | "metamorphic"
+    kind: str  # "certificate" | "differential" | "lp_differential" | "warm" | "metamorphic"
     instance: str
     iteration: int
     detail: str
@@ -85,6 +91,7 @@ class FuzzReport:
     certificate_checks: int = 0
     differential_checks: int = 0
     lp_differential_checks: int = 0
+    warm_checks: int = 0
     metamorphic_checks: int = 0
     solver_errors: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
@@ -101,6 +108,7 @@ class FuzzReport:
             self.certificate_checks
             + self.differential_checks
             + self.lp_differential_checks
+            + self.warm_checks
             + self.metamorphic_checks
         )
 
@@ -303,6 +311,27 @@ def run_fuzz(
                 )
                 continue
 
+        if options.warm_differential:
+            report.warm_checks += 1
+            warm_diff = differential_warm_mip(problem, node_limit=options.node_limit)
+            if not warm_diff.ok:
+                d = warm_diff.disagreements[0]
+                _shrink_and_save(
+                    report,
+                    options,
+                    "warm",
+                    problem,
+                    iteration,
+                    detail=(
+                        f"{d.left} vs {d.right} on {d.kind}: "
+                        f"{d.left_value} != {d.right_value}"
+                    ),
+                    predicate=lambda p: not differential_warm_mip(
+                        p, node_limit=options.node_limit
+                    ).ok,
+                )
+                continue
+
         if options.metamorphic:
             meta = check_metamorphic(
                 problem,
@@ -427,6 +456,14 @@ def replay_repro(path: str, solve_fn: Optional[SolveFn] = None) -> FuzzReport:
     if kind == "lp_differential":
         report.lp_differential_checks += 1
         diff = differential_lp(problem.relaxation())
+        if not diff.ok:
+            d = diff.disagreements[0]
+            record(f"{d.left} vs {d.right} on {d.kind}")
+        return report
+
+    if kind == "warm":
+        report.warm_checks += 1
+        diff = differential_warm_mip(problem)
         if not diff.ok:
             d = diff.disagreements[0]
             record(f"{d.left} vs {d.right} on {d.kind}")

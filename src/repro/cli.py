@@ -225,6 +225,24 @@ def build_parser() -> argparse.ArgumentParser:
         "a missing or schema-invalid file fails the run",
     )
 
+    warm_bench = sub.add_parser(
+        "warm-bench",
+        help="mini E15 run: warm-vs-cold node-LP pivots plus the serve "
+        "parametric path, exported as validated benchmark JSON",
+    )
+    warm_bench.add_argument(
+        "--node-limit", type=int, default=50_000, dest="node_limit"
+    )
+    warm_bench.add_argument(
+        "--serve-requests", type=int, default=16, dest="serve_requests"
+    )
+    warm_bench.add_argument("--seed", type=int, default=7)
+    warm_bench.add_argument("-o", "--out", default="BENCH_warm.json")
+    warm_bench.add_argument(
+        "--min-reduction", type=float, default=2.0, dest="min_reduction",
+        help="fail unless warm starts cut pivots/node by this factor",
+    )
+
     serve = sub.add_parser(
         "serve-bench",
         help="sweep the batching solve service over batching policies (§5.5)",
@@ -608,6 +626,41 @@ def cmd_bench_smoke(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_warm_bench(args) -> int:
+    """``repro warm-bench``: the E15 warm-start measurement + artifact.
+
+    Runs the warm-vs-cold node-LP sweep and the near-duplicate serve
+    stream, writes ``BENCH_warm.json`` through the :mod:`repro.obs.bench`
+    schema, re-loads it through the validator, and gates on the headline
+    pivot reduction — the CI ``warm-smoke`` job's entry point.
+    """
+    from repro.mip.warmbench import warm_bench_payload
+    from repro.obs.bench import load_bench_json, write_bench_json
+
+    payload = warm_bench_payload(
+        node_limit=args.node_limit,
+        serve_requests=args.serve_requests,
+        seed=args.seed,
+    )
+    write_bench_json(args.out, payload)
+    loaded = load_bench_json(args.out)
+    summary = loaded["summary"]
+    print(
+        f"warm-bench: wrote {args.out} ({len(loaded['rows'])} rows, "
+        f"pivot_reduction={summary['pivot_reduction']}x, "
+        f"serve hits={summary['serve_range_hits']} range "
+        f"+ {summary['serve_warm_hits']} warm)"
+    )
+    if summary["pivot_reduction"] < args.min_reduction:
+        print(
+            f"warm-bench: FAILED pivot_reduction {summary['pivot_reduction']} "
+            f"< required {args.min_reduction}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_serve_bench(args) -> int:
     """``repro serve-bench``: offered load vs batching policy sweep."""
     from repro.serve import BatchingPolicy, lp_pool, run_load, synthetic_stream
@@ -715,6 +768,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": cmd_chaos,
         "guard": cmd_guard,
         "bench-smoke": cmd_bench_smoke,
+        "warm-bench": cmd_warm_bench,
         "serve-bench": cmd_serve_bench,
     }
     try:

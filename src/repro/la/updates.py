@@ -142,6 +142,21 @@ class ProductFormInverse:
         self._factors = lu_factor(basis_matrix)
         self._etas = []
 
+    def clone(self) -> "ProductFormInverse":
+        """Independent copy sharing the (immutable) LU factors.
+
+        The factors are never mutated in place — ``refactorize`` rebinds
+        them — so the clone only needs its own eta list.  This is how a
+        warm-started child solve pivots on the parent's resident
+        factorization without corrupting it for the sibling (the §5.3
+        reuse pattern across branch-and-bound children).
+        """
+        copy = object.__new__(ProductFormInverse)
+        copy._n = self._n
+        copy._factors = self._factors
+        copy._etas = list(self._etas)
+        return copy
+
 
 def sherman_morrison_update(
     a_inv: np.ndarray, u: np.ndarray, v: np.ndarray

@@ -21,6 +21,8 @@ solvers from scratch on :mod:`repro.la`:
   the one that actually scales, with KKT-residual restarts/termination.
 - :mod:`repro.lp.pdhg_batch` — lockstep batched PDHG advancing many
   node LPs per fused matvec sweep (one GEMM pair per iteration).
+- :mod:`repro.lp.warm` — audited warm-start state (basis +
+  factorization reuse across related solves) feeding the dual simplex.
 
 `scipy.optimize.linprog` is used only in tests, as an oracle.
 """
@@ -41,6 +43,14 @@ from repro.lp.pdhg import (
 from repro.lp.pdhg_batch import BatchPDHGResult, solve_lp_pdhg_batch
 from repro.lp.presolve import PresolveResult, presolve
 from repro.lp.scaling import equilibrate
+from repro.lp.warm import (
+    WarmSolveOutcome,
+    WarmStartState,
+    WarmStateCache,
+    audit_warm_lp,
+    state_from_result,
+    warm_resolve,
+)
 
 __all__ = [
     "LinearProgram",
@@ -64,4 +74,10 @@ __all__ = [
     "presolve",
     "PresolveResult",
     "equilibrate",
+    "WarmStartState",
+    "WarmSolveOutcome",
+    "WarmStateCache",
+    "audit_warm_lp",
+    "state_from_result",
+    "warm_resolve",
 ]

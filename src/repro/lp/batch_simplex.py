@@ -43,6 +43,16 @@ class BatchLPResult:
     x: np.ndarray
     #: Lockstep iterations executed (shared across the batch).
     iterations: int
+    #: (k, m) final basic-variable indices.  For a lockstep-compatible
+    #: LP the tableau form *is* ``problem.to_standard_form()`` (same row
+    #: order, slack column ``n + r`` for row ``r``), so an optimal
+    #: member's basis/duals/x_standard seed warm re-solves directly.
+    bases: Optional[np.ndarray] = None
+    #: (k, m) row duals ``y = c_B B⁻¹`` read off the cost row's slack
+    #: entries; meaningful only for optimal members.
+    duals: Optional[np.ndarray] = None
+    #: (k, n + m) standard-form primal solutions (optimal members only).
+    x_standard: Optional[np.ndarray] = None
 
     @property
     def all_ok(self) -> bool:
@@ -190,16 +200,27 @@ def solve_lp_batch(
             statuses.append(LPStatus.OPTIMAL)
 
     x = np.zeros((k, n))
+    x_standard = np.zeros((k, total_cols))
     objectives = np.full(k, np.nan)
+    # Duals: reduced cost of slack column r is y_r - 0, and the cost row
+    # holds exactly those reduced costs at termination.
+    duals = tab[:, m, n:total_cols].copy()
     for t in range(k):
         if statuses[t] is not LPStatus.OPTIMAL:
             continue
         full = np.zeros(total_cols)
         full[basis[t]] = tab[t, :m, total_cols]
         x[t] = full[:n]
+        x_standard[t] = full
         objectives[t] = float(c[t, :n] @ x[t])
     return BatchLPResult(
-        statuses=statuses, objectives=objectives, x=x, iterations=iterations
+        statuses=statuses,
+        objectives=objectives,
+        x=x,
+        iterations=iterations,
+        bases=basis,
+        duals=duals,
+        x_standard=x_standard,
     )
 
 

@@ -35,17 +35,28 @@ def dual_simplex_resolve(
     basis: np.ndarray,
     options: Optional[SimplexOptions] = None,
     hook: CostHook = NULL_HOOK,
+    pfi: Optional[ProductFormInverse] = None,
+    state_out: Optional[dict] = None,
 ) -> LPResult:
     """Re-optimize ``max cᵀx, Ax=b, x≥0`` starting from ``basis``.
 
     ``basis`` must name m valid columns forming a dual-feasible basis
     (the typical source: the parent LP's optimal basis extended with the
     slacks of any newly appended rows).
+
+    ``pfi`` is an optional resident factorization of ``sf.a[:, basis]``
+    (the parent node's, via :mod:`repro.lp.warm`): when supplied it is
+    cloned and pivoted on directly, skipping the initial refactorization
+    — the caller must guarantee the matrix columns are unchanged (a
+    stale factorization is caught by the caller's warm audit, not here).
+    ``state_out``, when given, receives ``{"pfi", "basis",
+    "reused_factors"}`` on an OPTIMAL return so the caller can hand the
+    live factorization to the next warm start.
     """
     with obs.span(
         "lp.dual_resolve", category="lp", m=sf.a.shape[0], n=sf.a.shape[1]
     ) as sp:
-        result = _dual_simplex_resolve(sf, basis, options, hook)
+        result = _dual_simplex_resolve(sf, basis, options, hook, pfi, state_out)
         sp.set(status=result.status.value, iterations=result.iterations)
         return result
 
@@ -55,6 +66,8 @@ def _dual_simplex_resolve(
     basis: np.ndarray,
     options: Optional[SimplexOptions],
     hook: CostHook,
+    warm_pfi: Optional[ProductFormInverse] = None,
+    state_out: Optional[dict] = None,
 ) -> LPResult:
     options = options or SimplexOptions()
     tol = options.config.tolerances
@@ -68,11 +81,25 @@ def _dual_simplex_resolve(
     if len(set(basis.tolist())) != m:
         raise LPError("basis has repeated columns")
 
-    try:
-        pfi = ProductFormInverse(sf.a[:, basis])
-    except SingularMatrixError as exc:
-        raise LPError(f"warm basis is singular: {exc}") from exc
-    hook.on_factorize(m)
+    reused_factors = False
+    if warm_pfi is not None and warm_pfi.n == m:
+        # Clone so our pivots never corrupt the caller's resident copy
+        # (siblings and strong-branching probes share the parent state).
+        pfi = warm_pfi.clone()
+        if pfi.num_etas >= options.refactor_interval:
+            try:
+                pfi.refactorize(sf.a[:, basis])
+            except SingularMatrixError as exc:
+                raise LPError(f"warm basis is singular: {exc}") from exc
+            hook.on_factorize(m)
+        else:
+            reused_factors = True
+    else:
+        try:
+            pfi = ProductFormInverse(sf.a[:, basis])
+        except SingularMatrixError as exc:
+            raise LPError(f"warm basis is singular: {exc}") from exc
+        hook.on_factorize(m)
 
     def ftran(v: np.ndarray) -> np.ndarray:
         hook.on_ftran(m, pfi.num_etas)
@@ -123,6 +150,10 @@ def _dual_simplex_resolve(
             x_std = np.zeros(n)
             x_std[basis] = np.maximum(x_basic, 0.0)
             y = btran(sf.c[basis])
+            if state_out is not None:
+                state_out["pfi"] = pfi
+                state_out["basis"] = basis.copy()
+                state_out["reused_factors"] = reused_factors
             return LPResult(
                 status=LPStatus.OPTIMAL,
                 objective=float(sf.c @ x_std) + sf.offset,

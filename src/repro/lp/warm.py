@@ -1,0 +1,207 @@
+"""Warm-start state management for dual-simplex re-solves.
+
+The §5.3 reuse pattern: a branch-and-bound child differs from its parent
+by one tightened variable bound, so the parent's optimal basis is dual
+feasible for the child and the parent's *factorization* of that basis is
+still exact whenever the standard-form matrix is unchanged (a bound
+change only moves ``b``/``c``/``offset`` unless it flips a bound between
+finite and infinite, which changes the column layout).  This module
+packages that reuse so every driver — serial B&B, the batched node
+solver, the metered strategy engines, and serve's parametric path — goes
+through one audited entry point:
+
+- :class:`WarmStartState` — a basis plus (when shapes still match) the
+  live :class:`~repro.la.updates.ProductFormInverse` it was optimal
+  under.
+- :func:`warm_resolve` — attempt a warm dual-simplex re-solve, returning
+  ``None`` whenever the state is unusable so the caller cold-solves.
+  Optimal answers are KKT-audited *from scratch* against the actual
+  problem, which is what makes factorization reuse safe: a stale or
+  corrupted factorization can only produce an answer that fails the
+  audit, never a silently wrong bound.
+- :class:`WarmStateCache` — a bounded LRU of per-node states so deep
+  trees cannot hoard factorizations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCES, Tolerances
+from repro.errors import LPError
+from repro.la.updates import ProductFormInverse
+from repro.lp.dual_simplex import dual_simplex_resolve
+from repro.lp.problem import StandardFormLP
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.simplex import NULL_HOOK, CostHook, SimplexOptions
+
+
+@dataclass
+class WarmStartState:
+    """A re-solve starting point captured from an optimal basic solution.
+
+    ``shape`` records the standard form the state was captured on;
+    ``pfi`` is only reused when the target problem has the same shape
+    (same matrix layout), otherwise the basis alone seeds the re-solve.
+    """
+
+    basis: np.ndarray
+    shape: Tuple[int, int]
+    pfi: Optional[ProductFormInverse] = None
+
+    def factors_usable_for(self, sf: StandardFormLP) -> bool:
+        """True when the resident factorization can seed ``sf``."""
+        return self.pfi is not None and self.shape == (sf.m, sf.n)
+
+
+@dataclass
+class WarmSolveOutcome:
+    """What a warm attempt produced, and the state it leaves behind."""
+
+    result: LPResult
+    reused_factors: bool = False
+    audit_failed: bool = False
+    state: Optional[WarmStartState] = None
+
+
+def state_from_result(sf: StandardFormLP, result: LPResult) -> Optional[WarmStartState]:
+    """Capture a warm state from a cold solve's basic optimal solution.
+
+    No factorization is built here — the cold engine's internal factors
+    are not exposed — so the state seeds the next solve with the basis
+    only; the first warm re-solve then leaves a live PFI behind.
+    """
+    if result.status is not LPStatus.OPTIMAL or result.basis is None:
+        return None
+    return WarmStartState(
+        basis=np.asarray(result.basis, dtype=np.int64).copy(),
+        shape=(sf.m, sf.n),
+        pfi=None,
+    )
+
+
+def audit_warm_lp(
+    sf: StandardFormLP,
+    result: LPResult,
+    tol: Tolerances = DEFAULT_TOLERANCES,
+) -> bool:
+    """From-scratch KKT check of a warm-started optimal answer.
+
+    Recomputes primal feasibility, dual feasibility, and strong duality
+    directly from ``sf`` — deliberately *not* via the factorization that
+    produced the answer, so a stale PFI cannot vouch for itself.
+    """
+    if result.status is not LPStatus.OPTIMAL:
+        return False
+    x = result.x_standard
+    y = result.duals
+    if x is None or y is None:
+        return False
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        return False
+    scale_b = 1.0 + float(np.max(np.abs(sf.b))) if sf.b.size else 1.0
+    if np.any(x < -tol.feasibility * scale_b):
+        return False
+    residual = sf.a @ x - sf.b
+    if residual.size and float(np.max(np.abs(residual))) > tol.feasibility * scale_b:
+        return False
+    # Dual feasibility for max cᵀx, Ax=b, x≥0: Aᵀy ≥ c.
+    reduced = sf.c - sf.a.T @ y
+    scale_c = 1.0 + float(np.max(np.abs(sf.c))) if sf.c.size else 1.0
+    if reduced.size and float(np.max(reduced)) > tol.optimality * scale_c:
+        return False
+    # Strong duality (complementary slackness summed): cᵀx = bᵀy.
+    primal = float(sf.c @ x)
+    dual = float(sf.b @ y)
+    gap_scale = 1.0 + max(abs(primal), abs(dual))
+    if abs(primal - dual) > tol.optimality * gap_scale * 10.0:
+        return False
+    return True
+
+
+def warm_resolve(
+    sf: StandardFormLP,
+    warm: Optional[WarmStartState],
+    options: Optional[SimplexOptions] = None,
+    hook: CostHook = NULL_HOOK,
+    audit: bool = True,
+    tol: Tolerances = DEFAULT_TOLERANCES,
+) -> Optional[WarmSolveOutcome]:
+    """Attempt a warm dual-simplex re-solve of ``sf`` from ``warm``.
+
+    Returns ``None`` when the state cannot seed this problem (missing,
+    wrong basis size, singular, or not dual feasible) — the caller must
+    cold-solve.  Otherwise returns the outcome; ``audit_failed=True``
+    marks an OPTIMAL answer that failed the from-scratch KKT audit and
+    must be discarded in favor of a cold solve.  Non-OPTIMAL statuses
+    (TIME_LIMIT, ITERATION_LIMIT, NUMERICAL, INFEASIBLE) pass through
+    for the caller's usual handling — a deadline hit mid-re-solve is
+    still an anytime stop, not an error.
+    """
+    if warm is None or warm.basis is None:
+        return None
+    basis = np.asarray(warm.basis, dtype=np.int64)
+    if basis.ndim != 1 or basis.shape[0] != sf.m:
+        return None
+    pfi = warm.pfi if warm.factors_usable_for(sf) else None
+    state_out: dict = {}
+    try:
+        result = dual_simplex_resolve(
+            sf, basis, options, hook, pfi=pfi, state_out=state_out
+        )
+    except LPError:
+        return None
+    outcome = WarmSolveOutcome(result=result)
+    if state_out:
+        outcome.reused_factors = bool(state_out.get("reused_factors", False))
+        outcome.state = WarmStartState(
+            basis=state_out["basis"],
+            shape=(sf.m, sf.n),
+            pfi=state_out.get("pfi"),
+        )
+    if result.status is LPStatus.OPTIMAL and audit:
+        if not audit_warm_lp(sf, result, tol):
+            outcome.audit_failed = True
+            outcome.state = None
+    return outcome
+
+
+class WarmStateCache:
+    """Bounded LRU of :class:`WarmStartState` keyed by node id.
+
+    Deep trees produce one state per open node; factorizations are a
+    dense (m×m) LU each, so the cache holds at most ``capacity`` of them
+    and silently drops the least recently used — a miss just means that
+    node's children cold-start, never an error.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, WarmStartState]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[WarmStartState]:
+        state = self._entries.get(key)
+        if state is not None:
+            self._entries.move_to_end(key)
+        return state
+
+    def put(self, key: Hashable, state: WarmStartState) -> None:
+        self._entries[key] = state
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def pop(self, key: Hashable) -> Optional[WarmStartState]:
+        return self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -32,13 +32,18 @@ from repro.config import DEFAULT_CONFIG
 from repro.device import kernels as K
 from repro.device.gpu import Device
 from repro.device.spec import V100, DeviceSpec
-from repro.errors import LPError, ReproError
+from repro.errors import ReproError
 from repro.guard import budget as guard_budget
-from repro.lp.dual_simplex import dual_simplex_resolve
 from repro.lp.pdhg import PDHGOptions
 from repro.lp.pdhg_batch import batch_compatible, solve_lp_pdhg_batch_on_device
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.simplex import SimplexOptions, solve_standard_form
+from repro.lp.warm import (
+    WarmStartState,
+    WarmStateCache,
+    state_from_result,
+    warm_resolve,
+)
 from repro.mip.problem import MIPProblem
 from repro.mip.result import MIPResult, MIPStats, MIPStatus
 from repro.mip.tree import BBTree, BoundChange, NodeTag
@@ -118,6 +123,8 @@ class BatchedNodeSolver:
         self.stats = MIPStats()
         self.rounds = 0
         self._tol = DEFAULT_CONFIG.tolerances
+        #: Bounded per-node warm states (basis + resident factorization).
+        self._warm_states = WarmStateCache(capacity=64)
 
     # -- device accounting ------------------------------------------------------
 
@@ -354,18 +361,33 @@ class BatchedNodeSolver:
         return outcomes
 
     def _solve_node(self, sf, tree: BBTree, node) -> LPResult:
-        warm = None
+        warm: Optional[WarmStartState] = None
         if self.options.warm_start and node.parent_id is not None:
-            warm = tree.node(node.parent_id).warm_basis
+            warm = self._warm_states.get(node.parent_id)
+            if warm is None:
+                basis = tree.node(node.parent_id).warm_basis
+                if basis is not None:
+                    warm = WarmStartState(
+                        basis=np.asarray(basis, dtype=np.int64),
+                        shape=(sf.m, sf.n),
+                        pfi=None,
+                    )
         if warm is not None:
-            try:
-                res = dual_simplex_resolve(sf, warm, options=self.options.simplex)
-                self.stats.warm_starts += 1
-                return res
-            except LPError:
-                pass
+            attempt = warm_resolve(sf, warm, options=self.options.simplex)
+            if attempt is not None:
+                if attempt.audit_failed:
+                    self.stats.warm_audit_failures += 1
+                else:
+                    self.stats.warm_starts += 1
+                    self.stats.warm_pivots += attempt.result.iterations
+                    if attempt.reused_factors:
+                        self.stats.warm_factor_reuses += 1
+                    if attempt.state is not None:
+                        self._warm_states.put(node.node_id, attempt.state)
+                    return attempt.result
         self.stats.cold_starts += 1
         res = solve_standard_form(sf, options=self.options.simplex)
+        self.stats.cold_pivots += res.iterations
         if res.status in (LPStatus.ITERATION_LIMIT, LPStatus.NUMERICAL):
             from repro.guard.escalate import escalate_lp
 
@@ -375,6 +397,10 @@ class BatchedNodeSolver:
             if outcome.escalated:
                 self.stats.escalations += 1
             res = outcome.result
+        if self.options.warm_start:
+            state = state_from_result(sf, res)
+            if state is not None:
+                self._warm_states.put(node.node_id, state)
         return res
 
     def _dominated(self, bound: float, incumbent: float) -> bool:

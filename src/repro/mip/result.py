@@ -59,6 +59,14 @@ class MIPStats:
     reuse_distance: int = 0
     #: Guard escalation-ladder climbs triggered by unusable node LPs.
     escalations: int = 0
+    #: LP pivots spent inside warm-started node re-solves.
+    warm_pivots: int = 0
+    #: LP pivots spent inside cold node solves.
+    cold_pivots: int = 0
+    #: Warm solves that pivoted on the parent's resident factorization.
+    warm_factor_reuses: int = 0
+    #: Warm answers discarded by the from-scratch KKT audit (cold re-run).
+    warm_audit_failures: int = 0
 
 
 @dataclass

@@ -18,6 +18,7 @@ parallel execution strategies with full device/transfer accounting.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -37,7 +38,8 @@ from repro.lp.dual_simplex import dual_simplex_resolve
 from repro.lp.pdhg import NULL_PDHG_HOOK, PDHGCostHook, PDHGOptions, solve_standard_form_pdhg
 from repro.lp.problem import StandardFormLP
 from repro.lp.result import LPResult, LPStatus
-from repro.lp.simplex import SimplexOptions, solve_standard_form
+from repro.lp.simplex import NULL_HOOK, CostHook, SimplexOptions, solve_standard_form
+from repro.lp.warm import WarmStartState, WarmStateCache, state_from_result, warm_resolve
 from repro.mip.branching import BranchingRule, make_branching
 from repro.mip.cuts.cover import cover_cuts
 from repro.mip.cuts.gomory import gomory_mixed_integer_cuts
@@ -59,6 +61,12 @@ class ExecutionEngine:
     transfers.
     """
 
+    #: Bound on the first-order warm-iterate cache: one (x, y) pair per
+    #: standard-form shape, LRU-evicted so deep trees with many shapes
+    #: (appended cut rows, flipped bound patterns) cannot grow it
+    #: without limit.
+    PDHG_WARM_CAPACITY = 32
+
     def __init__(
         self,
         simplex_options: Optional[SimplexOptions] = None,
@@ -72,10 +80,22 @@ class ExecutionEngine:
         #: INFEASIBLE/UNBOUNDED statuses stay exact).
         self.node_lp = node_lp
         self.pdhg_options = pdhg_options or PDHGOptions()
-        #: (m, n) → (x, y) iterates for first-order warm starts.
-        self._pdhg_warm: dict = {}
+        #: (m, n) → (x, y) iterates for first-order warm starts (LRU).
+        self._pdhg_warm: "OrderedDict" = OrderedDict()
         #: First-order work counters (exposed in engine reports).
         self.pdhg_stats = {"solves": 0, "fallbacks": 0, "iterations": 0, "restarts": 0}
+        #: Telemetry of the most recent non-probe relaxation solve.
+        self.last_warm_info = {
+            "used": False,
+            "reused_factors": False,
+            "audit_failed": False,
+        }
+        self._last_warm_state: Optional[WarmStartState] = None
+
+    def take_warm_state(self) -> Optional[WarmStartState]:
+        """Pop the warm state left by the last OPTIMAL warm re-solve."""
+        state, self._last_warm_state = self._last_warm_state, None
+        return state
 
     # -- lifecycle hooks ------------------------------------------------------
 
@@ -101,13 +121,53 @@ class ExecutionEngine:
             res = self._pdhg_relaxation(sf)
             if res is not None:
                 return res
+        return self._warm_or_cold(sf, warm_basis, probe)
+
+    def _warm_or_cold(
+        self,
+        sf: StandardFormLP,
+        warm_basis,
+        probe: bool,
+        hook: CostHook = NULL_HOOK,
+    ) -> LPResult:
+        """The shared warm-attempt / cold-fallback relaxation path.
+
+        ``warm_basis`` may be a bare basis array (legacy) or a
+        :class:`~repro.lp.warm.WarmStartState` carrying the parent's
+        resident factorization.  Non-probe calls record telemetry in
+        ``last_warm_info`` and leave the post-solve state for
+        ``take_warm_state``; probe solves never touch either (a strong-
+        branching probe must not leak its state into the node's).
+        """
+        info = {"used": False, "reused_factors": False, "audit_failed": False}
+        if not probe:
+            self.last_warm_info = info
+            self._last_warm_state = None
         if warm_basis is not None:
-            try:
-                return dual_simplex_resolve(
-                    sf, warm_basis, options=self.simplex_options
+            if isinstance(warm_basis, WarmStartState):
+                warm = warm_basis
+            else:
+                warm = WarmStartState(
+                    basis=np.asarray(warm_basis, dtype=np.int64),
+                    shape=(sf.m, sf.n),
+                    pfi=None,
                 )
-            except LPError:
-                pass
+            outcome = warm_resolve(
+                sf,
+                warm,
+                options=self.simplex_options,
+                hook=hook,
+                audit=not probe,
+            )
+            if outcome is not None:
+                if outcome.audit_failed:
+                    info["audit_failed"] = True
+                else:
+                    if not probe:
+                        info["used"] = True
+                        info["reused_factors"] = outcome.reused_factors
+                        self._last_warm_state = outcome.state
+                    return outcome.result
         options = self.simplex_options
         if probe:
             options = SimplexOptions(
@@ -116,7 +176,7 @@ class ExecutionEngine:
                 max_iterations=200,
                 config=options.config,
             )
-        return solve_standard_form(sf, options=options)
+        return solve_standard_form(sf, options=options, hook=hook)
 
     def _pdhg_relaxation(
         self, sf: StandardFormLP, hook: PDHGCostHook = NULL_PDHG_HOOK
@@ -133,7 +193,16 @@ class ExecutionEngine:
         (x, y) pair of the same standard-form shape — sibling nodes differ
         only in bounds, so the parent's saddle point is a good start.
         """
-        initial = self._pdhg_warm.get((sf.m, sf.n))
+        key = (sf.m, sf.n)
+        self.last_warm_info = {
+            "used": False,
+            "reused_factors": False,
+            "audit_failed": False,
+        }
+        self._last_warm_state = None
+        initial = self._pdhg_warm.get(key)
+        if initial is not None:
+            self._pdhg_warm.move_to_end(key)
         res = solve_standard_form_pdhg(sf, self.pdhg_options, hook=hook, initial=initial)
         stats = self.pdhg_stats
         stats["solves"] += 1
@@ -143,10 +212,13 @@ class ExecutionEngine:
         if res.status is not LPStatus.OPTIMAL:
             stats["fallbacks"] += 1
             return None
-        self._pdhg_warm[(sf.m, sf.n)] = (
+        self._pdhg_warm[key] = (
             res.x_standard.copy(),
             (-res.duals).copy(),
         )
+        self._pdhg_warm.move_to_end(key)
+        while len(self._pdhg_warm) > self.PDHG_WARM_CAPACITY:
+            self._pdhg_warm.popitem(last=False)
         res.objective = res.first_order.upper_bound() + sf.offset
         return res
 
@@ -255,6 +327,9 @@ class BranchAndBoundSolver:
         )
         self.stats = MIPStats()
         self._tol = self.options.config.tolerances
+        #: Bounded per-node warm states (basis + resident factorization);
+        #: an evicted entry falls back to the node's bare ``warm_basis``.
+        self._warm_states = WarmStateCache(capacity=64)
 
     def solve(self) -> MIPResult:
         """Run the search to optimality, infeasibility, or the node limit."""
@@ -330,16 +405,25 @@ class BranchAndBoundSolver:
             sf = node_lp.to_standard_form()
             warm = None
             if options.warm_start and node.parent_id is not None:
-                warm = tree.node(node.parent_id).warm_basis
+                warm = self._warm_states.get(node.parent_id)
+                if warm is None:
+                    warm = tree.node(node.parent_id).warm_basis
             res = self.engine.solve_relaxation(sf, warm_basis=warm)
             self.stats.nodes_processed += 1
             self.stats.lp_iterations += res.iterations
             if options.log_every and self.stats.nodes_processed % options.log_every == 0:
                 self._log(options, incumbent_obj, node.inherited_bound, len(selector))
-            if warm is not None and res.status is not LPStatus.ITERATION_LIMIT:
+            warm_info = getattr(self.engine, "last_warm_info", None) or {}
+            if warm is not None and warm_info.get("used"):
                 self.stats.warm_starts += 1
+                self.stats.warm_pivots += res.iterations
+                if warm_info.get("reused_factors"):
+                    self.stats.warm_factor_reuses += 1
             else:
                 self.stats.cold_starts += 1
+                self.stats.cold_pivots += res.iterations
+                if warm_info.get("audit_failed"):
+                    self.stats.warm_audit_failures += 1
 
             if res.status is LPStatus.INFEASIBLE:
                 node.tag = NodeTag.INFEASIBLE
@@ -385,6 +469,14 @@ class BranchAndBoundSolver:
 
             node.lp_bound = res.objective
             node.warm_basis = res.basis
+            if options.warm_start:
+                state = self.engine.take_warm_state() if hasattr(
+                    self.engine, "take_warm_state"
+                ) else None
+                if state is None:
+                    state = state_from_result(sf, res)
+                if state is not None:
+                    self._warm_states.put(node_id, state)
             node_span.set(bound=res.objective)
             self._record_pseudocost(branching, tree, node, res.objective)
 

@@ -1,0 +1,199 @@
+"""E15 — warm-started node LPs and parametric serve re-solves, measured.
+
+Two claims from the §5.3 reuse argument, one payload:
+
+1. **Node-LP pivot reduction.**  A branch-and-bound child differs from
+   its parent by one tightened bound, so re-solving from the parent's
+   basis (and, when shapes allow, its resident factorization) should
+   need far fewer dual-simplex pivots than a cold solve.  The benchmark
+   runs the same instances warm and cold and reports pivots-per-node
+   both ways; the headline ``pivot_reduction`` is the ratio (≥ 2x is
+   the repeatable-result gate, measured instances land well above it).
+
+2. **Serve warm-hit latency.**  A request stream of near-duplicate LPs
+   (same constraint matrix, perturbed rhs) against
+   :class:`repro.serve.SolveService` exercises the parametric re-solve
+   path: after one cold seed, perturbations answer as range hits (zero
+   pivots) or warm re-solves (a few pivots), at microsecond simulated
+   latencies instead of full batch dispatch.
+
+Every number is cross-validated before it is believed: warm and cold
+runs must agree on status and objective per instance, and every
+parametric serve answer was certificate-audited inside the service.
+
+The payload follows the :mod:`repro.obs.bench` schema; experiment E15's
+artifact is ``BENCH_warm.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.lp.problem import LinearProgram
+from repro.mip.problem import MIPProblem
+from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+from repro.obs.bench import bench_payload
+from repro.problems.knapsack import generate_knapsack
+from repro.problems.random_mip import generate_random_mip
+
+
+def default_instances(
+    knapsack_items: Sequence[int] = (18, 22),
+    random_sizes: Sequence[Tuple[int, int]] = ((8, 6),),
+    seed: int = 3,
+) -> List[MIPProblem]:
+    """The E15 instance mix: branchy knapsacks plus a dense random MIP."""
+    instances = [
+        generate_knapsack(n, seed=seed, correlation="strong")
+        for n in knapsack_items
+    ]
+    instances.extend(
+        generate_random_mip(n, m, seed=seed + 1, integer_fraction=1.0)
+        for n, m in random_sizes
+    )
+    return instances
+
+
+def _solve_both(problem: MIPProblem, node_limit: int) -> Dict[str, object]:
+    """One instance warm and cold; cross-validated before reporting."""
+    warm = BranchAndBoundSolver(
+        problem, SolverOptions(node_limit=node_limit, warm_start=True)
+    ).solve()
+    cold = BranchAndBoundSolver(
+        problem, SolverOptions(node_limit=node_limit, warm_start=False)
+    ).solve()
+    if warm.status is not cold.status:
+        raise ReproError(
+            f"E15 cross-validation: {problem.name} warm={warm.status.value} "
+            f"vs cold={cold.status.value}"
+        )
+    scale = 1.0 + max(abs(warm.objective), abs(cold.objective))
+    if abs(warm.objective - cold.objective) > 1e-6 * scale:
+        raise ReproError(
+            f"E15 cross-validation: {problem.name} objectives differ "
+            f"({warm.objective!r} vs {cold.objective!r})"
+        )
+    warm_pivots = warm.stats.warm_pivots + warm.stats.cold_pivots
+    cold_pivots = cold.stats.warm_pivots + cold.stats.cold_pivots
+    warm_nodes = max(1, warm.stats.nodes_processed)
+    cold_nodes = max(1, cold.stats.nodes_processed)
+    warm_per_node = warm_pivots / warm_nodes
+    cold_per_node = cold_pivots / cold_nodes
+    return {
+        "instance": problem.name,
+        "status": warm.status.value,
+        "objective": float(warm.objective),
+        "warm_nodes": warm.stats.nodes_processed,
+        "cold_nodes": cold.stats.nodes_processed,
+        "warm_pivots": warm_pivots,
+        "cold_pivots": cold_pivots,
+        "warm_pivots_per_node": round(warm_per_node, 4),
+        "cold_pivots_per_node": round(cold_per_node, 4),
+        "pivot_reduction": round(cold_per_node / max(warm_per_node, 1e-12), 4),
+        "warm_starts": warm.stats.warm_starts,
+        "factor_reuses": warm.stats.warm_factor_reuses,
+        "audit_failures": warm.stats.warm_audit_failures,
+    }
+
+
+def _serve_row(
+    num_requests: int, seed: int, rel_scale: float = 0.02
+) -> Dict[str, object]:
+    """Near-duplicate LP stream through the serve parametric path."""
+    from repro.serve import BatchingPolicy, SolveService
+
+    rng = np.random.default_rng(seed)
+    n, m = 10, 8
+    a = np.abs(rng.normal(size=(m, n))) + 0.1
+    b0 = np.abs(rng.normal(size=m)) * 5 + 2
+    c = rng.normal(size=n) + 1.0
+
+    service = SolveService(
+        policy=BatchingPolicy(max_batch_size=1, max_wait=0.0)
+    )
+    for i in range(num_requests):
+        if i == 0:
+            scale = np.ones(m)  # the cold seed
+        elif i % 4 == 0:
+            # A big rhs move, out of the sensitivity ranges: forces the
+            # warm dual-simplex re-solve (a few pivots, not zero).
+            scale = rng.uniform(0.5, 1.5, size=m)
+        else:
+            scale = 1.0 + rel_scale * rng.uniform(-1, 1, size=m)
+        problem = LinearProgram(
+            c=c, a_ub=a, b_ub=b0 * scale, lb=np.zeros(n), ub=np.full(n, np.inf)
+        )
+        service.submit(problem, at=float(i))
+        service.drain()
+    responses = service.close()
+
+    warm_latencies = [r.latency for r in responses if r.warm]
+    cold_latencies = [r.latency for r in responses if not r.warm and not r.cached]
+    cache = service.parametric
+    mean = lambda xs: float(np.mean(xs)) if xs else None
+    warm_mean = mean(warm_latencies)
+    cold_mean = mean(cold_latencies)
+    return {
+        "instance": "serve-near-duplicates",
+        "requests": num_requests,
+        "range_hits": cache.range_hits,
+        "warm_hits": cache.warm_hits,
+        "parametric_misses": cache.misses,
+        "parametric_audit_failures": cache.audit_failures,
+        "warm_latency_mean": warm_mean,
+        "cold_latency_mean": cold_mean,
+        "warm_latency_speedup": (
+            round(cold_mean / warm_mean, 4)
+            if warm_mean and cold_mean
+            else None
+        ),
+    }
+
+
+def warm_bench_payload(
+    instances: Optional[Sequence[MIPProblem]] = None,
+    node_limit: int = 50_000,
+    serve_requests: int = 16,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Assemble the E15 artifact payload (schema of :mod:`repro.obs.bench`).
+
+    ``rows`` carries one warm-vs-cold row per MIP instance plus one
+    serve-stream row; ``summary`` holds the headline aggregate pivot
+    reduction (total cold pivots-per-node over total warm) and the
+    serve hit counts.
+    """
+    if instances is None:
+        instances = default_instances()
+    rows = [_solve_both(problem, node_limit) for problem in instances]
+    serve = _serve_row(serve_requests, seed)
+
+    total_warm = sum(r["warm_pivots"] for r in rows)
+    total_cold = sum(r["cold_pivots"] for r in rows)
+    warm_nodes = sum(r["warm_nodes"] for r in rows)
+    cold_nodes = sum(r["cold_nodes"] for r in rows)
+    warm_per_node = total_warm / max(1, warm_nodes)
+    cold_per_node = total_cold / max(1, cold_nodes)
+
+    summary = {
+        "instances": len(rows),
+        "pivot_reduction": round(cold_per_node / max(warm_per_node, 1e-12), 4),
+        "warm_pivots_per_node": round(warm_per_node, 4),
+        "cold_pivots_per_node": round(cold_per_node, 4),
+        "serve_range_hits": serve["range_hits"],
+        "serve_warm_hits": serve["warm_hits"],
+        "serve_warm_latency_speedup": serve["warm_latency_speedup"],
+    }
+    return bench_payload(
+        "e15_warm",
+        rows=rows + [serve],
+        params={
+            "node_limit": node_limit,
+            "serve_requests": serve_requests,
+            "seed": seed,
+        },
+        summary=summary,
+    )

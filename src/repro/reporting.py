@@ -198,6 +198,7 @@ def render_fuzz(report) -> str:
         ("certificate checks", report.certificate_checks),
         ("differential checks", report.differential_checks),
         ("LP differential checks", report.lp_differential_checks),
+        ("warm-vs-cold checks", getattr(report, "warm_checks", 0)),
         ("metamorphic checks", report.metamorphic_checks),
         ("solver errors", report.solver_errors),
         ("failures", len(report.failures)),

@@ -18,6 +18,12 @@ Typical use::
 
 from repro.serve.batching import BatchingPolicy, BatchQueue, bucket_key
 from repro.serve.cache import CacheEntry, ResultCache
+from repro.serve.parametric import (
+    ParametricAnswer,
+    ParametricCache,
+    ParametricEntry,
+    structure_fingerprint,
+)
 from repro.serve.request import (
     Outcome,
     SolveRequest,
@@ -40,6 +46,10 @@ __all__ = [
     "bucket_key",
     "CacheEntry",
     "ResultCache",
+    "ParametricAnswer",
+    "ParametricCache",
+    "ParametricEntry",
+    "structure_fingerprint",
     "Outcome",
     "SolveRequest",
     "SolveResponse",

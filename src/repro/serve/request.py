@@ -135,6 +135,13 @@ class SolveResponse:
     trace_id: str = ""
     #: Crash-recovery re-dispatch rounds this request survived (0 = none).
     retries: int = 0
+    #: Parametric near-duplicate answer: "" (normal solve), "range"
+    #: (sensitivity ranges proved the cached basis still optimal), or
+    #: "resolve" (warm-started dual-simplex re-solve, certificate-audited).
+    warm: str = ""
+    #: Full LP solver result when the member ran the solo-LP path
+    #: (internal: seeds the parametric re-solve cache; not serialized).
+    lp_result: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -177,6 +184,7 @@ class SolveResponse:
             },
             "cached": self.cached,
             "coalesced": self.coalesced,
+            "warm": self.warm,
             "batch_size": self.batch_size,
             "worker": self.worker,
             "retries": self.retries,

@@ -34,7 +34,7 @@ from repro.errors import FaultError, SolverError
 from repro.faults.injector import active as fault_active
 from repro.guard.budget import DeadlineBudget, GuardContext, guarding
 from repro.lp.batch_simplex import solve_lp_batch_on_device
-from repro.lp.result import LPStatus
+from repro.lp.result import LPResult, LPStatus
 from repro.metrics import Metrics
 from repro.mip.problem import MIPProblem
 from repro.mip.result import MIPStatus
@@ -170,7 +170,7 @@ class WorkerPool:
         self.metrics.add_time("time.serve.device", completion - start)
 
         responses = []
-        for req, (outcome, status, objective, x, bound, gap) in zip(
+        for req, (outcome, status, objective, x, bound, gap, lp_result) in zip(
             completed, outcomes
         ):
             responses.append(
@@ -183,6 +183,7 @@ class WorkerPool:
                     x=x,
                     best_bound=bound,
                     gap=gap,
+                    lp_result=lp_result,
                     arrival_time=req.arrival_time,
                     dispatch_time=when,
                     start_time=start,
@@ -219,7 +220,7 @@ class WorkerPool:
 
     def _run_lockstep(
         self, device: Device, batch: List[SolveRequest]
-    ) -> List[Tuple[Outcome, str, float, Optional[np.ndarray], float, float]]:
+    ) -> List[Tuple[Outcome, str, float, Optional[np.ndarray], float, float, object]]:
         res = solve_lp_batch_on_device([req.problem for req in batch], device)
         out = []
         for t in range(len(batch)):
@@ -229,7 +230,23 @@ class WorkerPool:
             objective = float(res.objectives[t])
             bound = objective if status is LPStatus.OPTIMAL else float("inf")
             gap = 0.0 if status is LPStatus.OPTIMAL else float("inf")
-            out.append((outcome, status.value, objective, x, bound, gap))
+            lp_result = None
+            if status is LPStatus.OPTIMAL and res.bases is not None:
+                # The lockstep tableau form coincides with the member's
+                # own standard form, so this result seeds the parametric
+                # re-solve cache (the seeder re-audits before trusting it).
+                lp_result = LPResult(
+                    status=status,
+                    objective=objective,
+                    x=x,
+                    duals=res.duals[t],
+                    iterations=res.iterations,
+                    basis=res.bases[t].copy(),
+                    x_standard=res.x_standard[t],
+                )
+            out.append(
+                (outcome, status.value, objective, x, bound, gap, lp_result)
+            )
         return out
 
     def _run_concurrent(
@@ -239,7 +256,7 @@ class WorkerPool:
         crash_at: Optional[int] = None,
     ) -> Tuple[
         List[SolveRequest],
-        List[Tuple[Outcome, str, float, Optional[np.ndarray], float, float]],
+        List[tuple],
         List[SolveRequest],
         int,
     ]:
@@ -252,7 +269,7 @@ class WorkerPool:
         Returns ``(completed, outcomes, requeue, pending_faults)``.
         """
         completed: List[SolveRequest] = []
-        out: List[Tuple[Outcome, str, float, Optional[np.ndarray], float, float]] = []
+        out: List[tuple] = []
         requeue: List[SolveRequest] = []
         pending_faults = 0
         busy_times = []
@@ -282,7 +299,7 @@ class WorkerPool:
             except SolverError as exc:
                 result = (
                     Outcome.FAILED, type(exc).__name__, float("nan"), None,
-                    float("inf"), float("inf"),
+                    float("inf"), float("inf"), None,
                 )
             busy_times.append(scratch.clock.now - member_start)
             device.metrics.merge(scratch.metrics)
@@ -339,7 +356,7 @@ class WorkerPool:
             outcome = Outcome.FAILED
         return (
             outcome, report.status, report.objective, report.x,
-            report.best_bound, report.gap,
+            report.best_bound, report.gap, None,
         )
 
     def _solve_solo_lp(self, problem, scratch: Device):
@@ -355,4 +372,7 @@ class WorkerPool:
             outcome = Outcome.FAILED
         bound = report.objective if status is LPStatus.OPTIMAL else float("inf")
         gap = 0.0 if status is LPStatus.OPTIMAL else float("inf")
-        return (outcome, report.status, report.objective, report.x, bound, gap)
+        return (
+            outcome, report.status, report.objective, report.x, bound, gap,
+            report.lp_result,
+        )

@@ -32,7 +32,9 @@ from repro.faults.injector import active as fault_active
 from repro.faults.plan import SITE_WORKER
 from repro.metrics import Metrics
 from repro.serve.batching import BatchingPolicy, BatchQueue, BucketKey
+from repro.lp.problem import LinearProgram
 from repro.serve.cache import CACHE_LOOKUP_SECONDS, CacheEntry, ResultCache
+from repro.serve.parametric import ParametricCache
 from repro.serve.request import (
     Outcome,
     Problem,
@@ -53,11 +55,14 @@ class SolveService:
         spec: DeviceSpec = V100,
         cache_capacity: int = 1024,
         metrics: Optional[Metrics] = None,
+        parametric_capacity: int = 128,
     ):
         self.policy = policy if policy is not None else BatchingPolicy()
         self.metrics = metrics if metrics is not None else Metrics()
         self.pool = WorkerPool(num_workers, spec=spec, metrics=self.metrics)
         self.cache = ResultCache(cache_capacity)
+        #: Near-duplicate LP answering (0 capacity disables it).
+        self.parametric = ParametricCache(parametric_capacity)
         self.queue = BatchQueue(self.policy)
         #: Service-side simulated clock (max processed event time).
         self.now = 0.0
@@ -139,6 +144,47 @@ class SolveService:
             return rid
         self.metrics.inc("serve.cache.misses")
 
+        # 2b. Parametric near-duplicate: same constraint structure with
+        # perturbed rhs/objective/bounds, answered from the stored basis
+        # via a sensitivity range check or a warm dual-simplex re-solve
+        # (both certificate-audited; see repro.serve.parametric).
+        if isinstance(problem, LinearProgram) and request.solve_deadline is None:
+            answer = self.parametric.try_answer(problem)
+            if answer is not None:
+                self.metrics.inc(
+                    "serve.range_hit" if answer.mode == "range" else "serve.warm_hit"
+                )
+                done = max(at, answer.ready_time) + answer.sim_seconds
+                response = SolveResponse(
+                    request_id=rid,
+                    fingerprint=fp,
+                    outcome=Outcome.OK,
+                    solver_status=answer.result.status.value,
+                    objective=answer.result.objective,
+                    x=answer.x,
+                    best_bound=answer.result.objective,
+                    gap=0.0,
+                    arrival_time=at,
+                    dispatch_time=at,
+                    start_time=at,
+                    completion_time=done,
+                    warm=answer.mode,
+                )
+                # The perturbed problem's exact fingerprint now resolves
+                # from the plain result cache too.
+                self.cache.put(
+                    fp,
+                    CacheEntry(
+                        outcome=Outcome.OK,
+                        solver_status=response.solver_status,
+                        objective=response.objective,
+                        x=response.x,
+                        ready_time=done,
+                    ),
+                )
+                self._record(response)
+                return rid
+
         # 3. Admission control.
         if self.queue.depth >= self.policy.max_queue_depth:
             self.metrics.inc("serve.rejected")
@@ -202,6 +248,12 @@ class SolveService:
             "cache_hit_rate": self.cache.hit_rate,
             "dedup_rate": deduped / requests if requests else 0.0,
             "makespan": self.makespan,
+            "parametric": {
+                "range_hits": self.parametric.range_hits,
+                "warm_hits": self.parametric.warm_hits,
+                "misses": self.parametric.misses,
+                "audit_failures": self.parametric.audit_failures,
+            },
         }
         return out
 
@@ -326,6 +378,13 @@ class SolveService:
                     ready_time=response.completion_time,
                 ),
             )
+            if response.lp_result is not None and isinstance(
+                request.problem, LinearProgram
+            ):
+                if self.parametric.seed(
+                    request.problem, response.lp_result, response.completion_time
+                ):
+                    self.metrics.inc("serve.parametric.seeded")
         self._record(response)
         for follower in self._followers.pop(request.request_id, []):
             twin = SolveResponse(
@@ -342,6 +401,7 @@ class SolveService:
                 start_time=response.start_time,
                 completion_time=response.completion_time,
                 coalesced=True,
+                warm=response.warm,
                 batch_size=response.batch_size,
                 worker=response.worker,
                 retries=response.retries,
@@ -363,8 +423,10 @@ class SolveService:
         self.metrics.add_time("time.serve.latency", max(0.0, response.latency))
         self.metrics.observe("serve.latency", max(0.0, response.latency))
         self.metrics.observe("serve.queue_wait", max(0.0, response.queue_wait))
-        if response.ok and not response.cached:
+        if response.ok and not response.cached and not response.warm:
             self.metrics.observe("serve.device_time", max(0.0, response.device_time))
+        if response.warm:
+            self.metrics.observe("serve.warm_latency", max(0.0, response.latency))
         tracer = obs.active()
         if tracer is not None:
             self._trace_request(tracer, response)
@@ -381,6 +443,7 @@ class SolveService:
             outcome=response.outcome.value,
             cached=response.cached,
             coalesced=response.coalesced,
+            warm=response.warm,
             batch_size=response.batch_size,
             worker=response.worker,
             trace_id=response.trace_id,
@@ -391,6 +454,14 @@ class SolveService:
                 "cache", response.start_time,
                 max(0.0, response.completion_time - response.start_time),
                 track, category="serve", parent_id=pid,
+            )
+            return
+        if response.warm:
+            tracer.sim_span(
+                "parametric", response.start_time,
+                max(0.0, response.completion_time - response.start_time),
+                track, category="serve", parent_id=pid,
+                mode=response.warm,
             )
             return
         tracer.sim_span(

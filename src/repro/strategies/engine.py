@@ -195,26 +195,9 @@ class MeteredEngine(ExecutionEngine):
         return self._solve_with_hook(sf, warm_basis, probe)
 
     def _solve_with_hook(self, sf, warm_basis, probe) -> LPResult:
-        from repro.lp.dual_simplex import dual_simplex_resolve
-        from repro.lp.simplex import solve_standard_form
-        from repro.errors import LPError
-
-        if warm_basis is not None:
-            try:
-                return dual_simplex_resolve(
-                    sf, warm_basis, options=self.simplex_options, hook=self._hook
-                )
-            except LPError:
-                pass
-        options = self.simplex_options
-        if probe:
-            options = SimplexOptions(
-                pricing=options.pricing,
-                refactor_interval=options.refactor_interval,
-                max_iterations=200,
-                config=options.config,
-            )
-        return solve_standard_form(sf, options=options, hook=self._hook)
+        # The shared warm-attempt/cold-fallback path, metered through
+        # whichever device hook is currently active (hybrid swaps it).
+        return self._warm_or_cold(sf, warm_basis, probe, hook=self._hook)
 
     def resolve_after_cuts(self, sf_grown, basis_extended, num_cuts, cut_bytes) -> LPResult:
         from repro.lp.dual_simplex import dual_simplex_resolve

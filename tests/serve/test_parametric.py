@@ -1,0 +1,226 @@
+"""Serve's parametric near-duplicate path: range hits, warm re-solves,
+audit fall-through, and the structural fingerprint that gates it all.
+
+Every parametric answer must match a fresh cold solve of the *perturbed*
+problem — the near-duplicate detector may only change latency, never the
+answer — and a request the state cannot certify falls through to the
+normal dispatch path (a miss, not an error).
+"""
+
+import numpy as np
+import pytest
+
+from repro import solve_lp
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPStatus
+from repro.serve import (
+    BatchingPolicy,
+    ParametricCache,
+    SolveService,
+    structure_fingerprint,
+)
+
+
+def base_lp(seed=5, n=8, m=6):
+    rng = np.random.default_rng(seed)
+    a = np.abs(rng.normal(size=(m, n))) + 0.1
+    return LinearProgram(
+        c=rng.normal(size=n) + 1.0,
+        a_ub=a,
+        b_ub=np.abs(rng.normal(size=m)) * 5 + 2,
+        lb=np.zeros(n),
+        ub=np.full(n, np.inf),
+    )
+
+
+def perturbed(lp, scale):
+    return LinearProgram(
+        c=lp.c, a_ub=lp.a_ub, b_ub=np.asarray(lp.b_ub) * scale,
+        lb=lp.lb, ub=lp.ub,
+    )
+
+
+def make_service(**kwargs):
+    return SolveService(
+        policy=BatchingPolicy(max_batch_size=1, max_wait=0.0), **kwargs
+    )
+
+
+class TestStructureFingerprint:
+    def test_rhs_and_objective_moves_share_structure(self):
+        lp = base_lp()
+        assert structure_fingerprint(lp) == structure_fingerprint(
+            perturbed(lp, 1.3)
+        )
+        moved_c = LinearProgram(
+            c=np.asarray(lp.c) + 1.0, a_ub=lp.a_ub, b_ub=lp.b_ub,
+            lb=lp.lb, ub=lp.ub,
+        )
+        assert structure_fingerprint(lp) == structure_fingerprint(moved_c)
+
+    def test_coefficient_change_differs(self):
+        lp = base_lp()
+        a2 = np.asarray(lp.a_ub).copy()
+        a2[0, 0] += 0.5
+        other = LinearProgram(c=lp.c, a_ub=a2, b_ub=lp.b_ub, lb=lp.lb, ub=lp.ub)
+        assert structure_fingerprint(lp) != structure_fingerprint(other)
+
+    def test_bound_finiteness_pattern_differs_but_values_do_not(self):
+        lp = base_lp()
+        finite_ub = LinearProgram(
+            c=lp.c, a_ub=lp.a_ub, b_ub=lp.b_ub, lb=lp.lb,
+            ub=np.full(len(lp.c), 10.0),
+        )
+        # Flipping inf→finite changes the standard-form layout: new key.
+        assert structure_fingerprint(lp) != structure_fingerprint(finite_ub)
+        # But moving a finite bound's *value* does not.
+        moved = LinearProgram(
+            c=lp.c, a_ub=lp.a_ub, b_ub=lp.b_ub, lb=lp.lb,
+            ub=np.full(len(lp.c), 12.0),
+        )
+        assert structure_fingerprint(finite_ub) == structure_fingerprint(moved)
+
+
+class TestServeParametricPath:
+    def _run(self, scales, service=None):
+        lp = base_lp()
+        service = service or make_service()
+        problems = [lp] + [perturbed(lp, s) for s in scales]
+        for i, problem in enumerate(problems):
+            service.submit(problem, at=float(i))
+            service.drain()
+        responses = service.close()
+        return service, problems, responses
+
+    def test_small_rhs_move_is_a_range_hit(self):
+        service, problems, responses = self._run([1.001])
+        assert responses[0].warm == ""
+        assert responses[1].warm == "range"
+        assert service.parametric.range_hits == 1
+        reference = solve_lp(problems[1])
+        assert responses[1].objective == pytest.approx(reference.objective)
+
+    def test_large_rhs_move_is_a_warm_resolve(self):
+        service, problems, responses = self._run([0.5])
+        assert responses[1].warm == "resolve"
+        assert service.parametric.warm_hits == 1
+        reference = solve_lp(problems[1])
+        assert reference.status is LPStatus.OPTIMAL
+        assert responses[1].objective == pytest.approx(reference.objective)
+
+    def test_metrics_and_stats_expose_hits(self):
+        service, _, _ = self._run([1.001, 0.5])
+        counters = service.metrics.counters
+        assert counters.get("serve.range_hit", 0) == 1
+        assert counters.get("serve.warm_hit", 0) == 1
+        assert counters.get("serve.parametric.seeded", 0) >= 1
+        block = service.stats()["derived"]["parametric"]
+        assert block["range_hits"] == 1 and block["warm_hits"] == 1
+        assert block["audit_failures"] == 0
+
+    def test_parametric_answer_is_causal(self):
+        # The answer reuses a completed solve: it can never finish
+        # before the solve that seeded it did.
+        service, _, responses = self._run([1.001])
+        assert responses[1].completion_time >= responses[0].completion_time
+        # ...and it is far cheaper than the cold path that seeded it.
+        assert responses[1].latency < responses[0].latency
+
+    def test_exact_duplicate_prefers_result_cache(self):
+        lp = base_lp()
+        service = make_service()
+        service.submit(lp, at=0.0)
+        service.drain()
+        service.submit(lp, at=1.0)
+        responses = service.close()
+        assert responses[1].cached and responses[1].warm == ""
+
+    def test_warm_resolve_reseeds_for_the_next_duplicate(self):
+        # After a warm re-solve the entry tracks the stream: a small
+        # move around the *new* rhs is in-range again.
+        service, problems, responses = self._run([0.5, 0.5005])
+        assert responses[1].warm == "resolve"
+        assert responses[2].warm == "range"
+        reference = solve_lp(problems[2])
+        assert responses[2].objective == pytest.approx(reference.objective)
+
+    def test_different_structure_misses(self):
+        lp = base_lp()
+        other = base_lp(seed=6)
+        service = make_service()
+        service.submit(lp, at=0.0)
+        service.drain()
+        service.submit(other, at=1.0)
+        responses = service.close()
+        assert responses[1].warm == ""
+        assert service.parametric.misses >= 1
+
+    def test_deadline_requests_bypass_parametric(self):
+        lp = base_lp()
+        service = make_service()
+        service.submit(lp, at=0.0)
+        service.drain()
+        service.submit(perturbed(lp, 1.001), at=1.0, solve_deadline=10.0)
+        responses = service.close()
+        assert responses[1].warm == ""
+        assert service.parametric.range_hits == 0
+
+    def test_capacity_zero_disables_the_path(self):
+        service, problems, responses = self._run(
+            [1.001], service=make_service(parametric_capacity=0)
+        )
+        assert all(r.warm == "" for r in responses)
+        reference = solve_lp(problems[1])
+        assert responses[1].objective == pytest.approx(reference.objective)
+
+    def test_audit_failure_falls_through_to_cold(self, monkeypatch):
+        lp = base_lp()
+        service = make_service()
+        service.submit(lp, at=0.0)
+        service.drain()
+        # Force the certification step to reject every parametric
+        # answer: the request must fall through to a correct cold solve.
+        monkeypatch.setattr(
+            type(service.parametric), "_certified", lambda self, p, r: False
+        )
+        service.submit(perturbed(lp, 1.001), at=1.0)
+        responses = service.close()
+        assert responses[1].warm == ""
+        assert service.parametric.audit_failures >= 1
+        reference = solve_lp(perturbed(lp, 1.001))
+        assert responses[1].objective == pytest.approx(reference.objective)
+
+    def test_near_duplicate_result_lands_in_exact_cache(self):
+        # A parametric answer backfills the plain fingerprint cache, so
+        # re-submitting the same perturbation is a plain cache hit.
+        lp = base_lp()
+        service = make_service()
+        service.submit(lp, at=0.0)
+        service.drain()
+        service.submit(perturbed(lp, 1.001), at=1.0)
+        service.drain()
+        service.submit(perturbed(lp, 1.001), at=2.0)
+        responses = service.close()
+        assert responses[1].warm == "range"
+        assert responses[2].cached
+
+
+class TestParametricCacheUnit:
+    def test_seed_refuses_unusable_results(self):
+        cache = ParametricCache(capacity=4)
+        lp = base_lp()
+        res = solve_lp(lp)
+        assert res.status is LPStatus.OPTIMAL
+        broken = solve_lp(lp)
+        broken.basis = None
+        assert not cache.seed(lp, broken, ready_time=0.0)
+        assert cache.seed(lp, res, ready_time=0.0)
+
+    def test_lru_bound(self):
+        cache = ParametricCache(capacity=2)
+        for seed in range(5):
+            lp = base_lp(seed=seed)
+            res = solve_lp(lp)
+            if res.status is LPStatus.OPTIMAL:
+                cache.seed(lp, res, ready_time=0.0)
+        assert len(cache) <= 2

@@ -233,3 +233,35 @@ class TestBenchSmoke:
     def test_bad_sizes_rejected(self, tmp_path, capsys):
         assert main(["bench-smoke", "--sizes", "two", "-o", str(tmp_path / "x.json")]) == 2
         assert "bad --sizes" in capsys.readouterr().err
+
+
+class TestWarmBench:
+    def test_mini_run_writes_valid_artifact(self, tmp_path, capsys):
+        from repro.obs.bench import load_bench_json
+
+        out = str(tmp_path / "BENCH_warm.json")
+        assert (
+            main(
+                ["warm-bench", "--node-limit", "2000",
+                 "--serve-requests", "8", "-o", out]
+            )
+            == 0
+        )
+        assert "warm-bench: wrote" in capsys.readouterr().out
+        payload = load_bench_json(out)
+        assert payload["bench"] == "e15_warm"
+        summary = payload["summary"]
+        assert summary["pivot_reduction"] >= 2.0
+        assert summary["serve_range_hits"] + summary["serve_warm_hits"] > 0
+
+    def test_min_reduction_gate_fails_the_run(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_warm.json")
+        assert (
+            main(
+                ["warm-bench", "--node-limit", "2000",
+                 "--serve-requests", "8", "-o", out,
+                 "--min-reduction", "1e9"]
+            )
+            == 1
+        )
+        assert "FAILED pivot_reduction" in capsys.readouterr().err
