@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke warm-smoke serve-bench fuzz chaos guard examples clean
+.PHONY: install test bench bench-smoke warm-smoke portfolio-smoke serve-bench fuzz chaos guard examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,11 +15,16 @@ serve-bench:
 bench-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench-smoke \
 		--out BENCH_smoke.json --check BENCH_pdhg.json --check BENCH_s1.json \
-		--check BENCH_chaos.json --check BENCH_warm.json
+		--check BENCH_chaos.json --check BENCH_warm.json \
+		--check BENCH_portfolio.json
 
 warm-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro warm-bench \
 		--node-limit 20000 --serve-requests 12 --out BENCH_warm.json
+
+portfolio-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro portfolio-bench \
+		--node-limit 2000 --out BENCH_portfolio.json --min-speedup 5.0
 
 fuzz:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro fuzz --budget 50 --seed 0

@@ -23,6 +23,7 @@ incumbent, bounds, per-device metrics, and the trace id — with
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Union
 
@@ -39,6 +40,7 @@ from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.simplex import solve_standard_form
 from repro.mip.problem import MIPProblem
+from repro.mip.portfolio import PortfolioOptions, run_portfolio
 from repro.mip.result import MIPResult, MIPStatus
 from repro.mip.solver import BranchAndBoundSolver, ExecutionEngine, SolverOptions
 from repro.strategies import registry
@@ -48,6 +50,26 @@ Problem = Union[LinearProgram, MIPProblem]
 #: Statuses that terminate a solve with a definitive answer.
 TERMINAL_LP = (LPStatus.OPTIMAL, LPStatus.INFEASIBLE, LPStatus.UNBOUNDED)
 TERMINAL_MIP = (MIPStatus.OPTIMAL, MIPStatus.INFEASIBLE, MIPStatus.UNBOUNDED)
+
+
+class SolveMode(enum.Enum):
+    """Quality-vs-latency contract for a MIP solve.
+
+    - ``EXACT`` — branch and bound to proven optimality (the historical
+      behaviour, and the only mode plain LPs accept).
+    - ``HEURISTIC_FIRST`` — run the batched primal-heuristic portfolio
+      (:mod:`repro.mip.portfolio`) before branch and bound; its best
+      certified incumbent pre-prunes the tree, and ``gap_target`` (when
+      given) relaxes the proof so the search can stop early.
+    - ``HEURISTIC_ONLY`` — portfolio only, no tree search.  Returns the
+      best certified incumbent with an honest gap against the root
+      relaxation's dual bound (``inf`` when the relaxation is unbounded),
+      status ``"heuristic"`` or ``"no_incumbent"``.
+    """
+
+    EXACT = "exact"
+    HEURISTIC_FIRST = "heuristic_first"
+    HEURISTIC_ONLY = "heuristic_only"
 
 
 @dataclass
@@ -82,8 +104,47 @@ class SolveOptions:
     #: (see :mod:`repro.guard.sanitize`).  The sanitation report lands
     #: in ``SolveReport.metrics["sanitize"]``.
     sanitize: Optional[str] = None
+    #: Quality-vs-latency contract (see :class:`SolveMode`); accepts the
+    #: enum or its string value.  Non-exact modes apply to MIPs only.
+    mode: Union[SolveMode, str] = SolveMode.EXACT
+    #: Relative-gap goal for the non-exact modes.  ``heuristic_first``
+    #: folds it into the branch-and-bound stopping gap;
+    #: ``heuristic_only`` reports whether the portfolio met it
+    #: (``metrics["portfolio"]["gap_target_met"]``).  Optional: without
+    #: it, heuristic_first proves full optimality and heuristic_only
+    #: simply returns its best certified incumbent.
+    gap_target: Optional[float] = None
+    #: Portfolio configuration for the non-exact modes (defaulted when
+    #: omitted).  Takes precedence over ``solver.portfolio``.
+    portfolio: Optional[PortfolioOptions] = None
 
     def __post_init__(self):
+        if isinstance(self.mode, str):
+            try:
+                self.mode = SolveMode(self.mode)
+            except ValueError:
+                valid = ", ".join(repr(m.value) for m in SolveMode)
+                raise ReproError(
+                    f"unknown solve mode {self.mode!r}; valid modes are {valid}"
+                ) from None
+        if self.gap_target is not None:
+            if not isinstance(self.gap_target, (int, float)) or isinstance(
+                self.gap_target, bool
+            ):
+                raise ReproError(
+                    f"gap_target must be a number, got {self.gap_target!r}"
+                )
+            if not np.isfinite(self.gap_target) or self.gap_target < 0:
+                raise ReproError(
+                    "gap_target must be a finite non-negative relative gap "
+                    f"(e.g. 0.01 for 1%), got {self.gap_target!r}"
+                )
+            if self.mode is SolveMode.EXACT:
+                raise ReproError(
+                    "gap_target only applies to mode='heuristic_first' or "
+                    "'heuristic_only'; for exact solves set "
+                    "SolverOptions.mip_gap instead"
+                )
         if self.deadline is not None and not self.deadline > 0:
             raise ReproError(
                 f"deadline must be positive seconds, got {self.deadline!r}"
@@ -109,6 +170,8 @@ class SolveReport:
     objective: float
     x: Optional[np.ndarray]
     strategy: str
+    #: :class:`SolveMode` value this report was produced under.
+    mode: str = SolveMode.EXACT.value
     trace_id: str = ""
     best_bound: float = float("inf")
     gap: float = float("inf")
@@ -130,23 +193,22 @@ class SolveReport:
         return self.status == "optimal"
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-friendly summary with the shared report shape."""
-        return {
-            "status": self.status,
-            "objective": None if np.isnan(self.objective) else float(self.objective),
-            "strategy": self.strategy,
-            "trace_id": self.trace_id,
-            "bounds": {
-                "best_bound": (
-                    None if not np.isfinite(self.best_bound) else float(self.best_bound)
-                ),
-                "gap": None if not np.isfinite(self.gap) else float(self.gap),
-            },
-            "nodes": self.nodes,
-            "lp_iterations": self.lp_iterations,
-            "makespan_seconds": self.makespan_seconds,
-            "metrics": self.metrics,
-        }
+        """JSON-friendly summary (:func:`repro.reporting.report_dict` shape)."""
+        from repro.reporting import report_dict
+
+        return report_dict(
+            status=self.status,
+            objective=self.objective,
+            strategy=self.strategy,
+            mode=self.mode,
+            trace_id=self.trace_id,
+            best_bound=self.best_bound,
+            gap=self.gap,
+            nodes=self.nodes,
+            lp_iterations=self.lp_iterations,
+            makespan_seconds=self.makespan_seconds,
+            metrics=self.metrics,
+        )
 
 
 def solve(problem: Problem, options: Optional[SolveOptions] = None) -> SolveReport:
@@ -219,10 +281,79 @@ def _fault_metrics(metrics: Dict[str, Any]) -> Dict[str, Any]:
 
 def _solve(problem: Problem, options: SolveOptions) -> SolveReport:
     if isinstance(problem, MIPProblem):
+        if options.mode is SolveMode.HEURISTIC_ONLY:
+            return _solve_mip_heuristic(problem, options)
+        if options.mode is SolveMode.HEURISTIC_FIRST:
+            options = _with_heuristic_first(options)
         if options.mip_node_batch > 0 and options.device is not None:
             return _solve_mip_batched(problem, options)
         return _solve_mip(problem, options)
+    if options.mode is not SolveMode.EXACT:
+        raise ReproError(
+            f"mode={options.mode.value!r} applies to MIPs only; plain LPs "
+            "always solve exactly (use mode='exact' or omit it)"
+        )
     return _solve_lp(problem, options)
+
+
+def _portfolio_options(options: SolveOptions) -> PortfolioOptions:
+    """The portfolio configuration a non-exact mode should run with."""
+    return options.portfolio or options.solver.portfolio or PortfolioOptions()
+
+
+def _with_heuristic_first(options: SolveOptions) -> SolveOptions:
+    """Rewrite options so branch and bound runs the portfolio phase first.
+
+    The portfolio's best certified incumbent seeds the tree as a pruning
+    bound; ``gap_target`` (when set) is folded into the branch-and-bound
+    stopping gap so the search may halt as soon as the bound proof is
+    good enough.
+    """
+    solver = replace(options.solver, portfolio=_portfolio_options(options))
+    if options.gap_target is not None and options.gap_target > solver.mip_gap:
+        solver = replace(solver, mip_gap=options.gap_target)
+    return replace(options, solver=solver)
+
+
+def _solve_mip_heuristic(problem: MIPProblem, options: SolveOptions) -> SolveReport:
+    """``heuristic_only``: the portfolio alone, no tree search.
+
+    Every incumbent is exact-rationally certified inside the portfolio;
+    the reported gap is measured against the root relaxation's dual
+    bound (``inf`` when that bound is unavailable), so it is honest but
+    loose.  Status is ``"heuristic"`` when a certified incumbent is in
+    hand, ``"infeasible"`` when the root relaxation proves the MIP
+    infeasible, and ``"no_incumbent"`` otherwise.
+    """
+    device = options.device
+    result = run_portfolio(problem, _portfolio_options(options), device=device)
+    metrics = _fault_metrics({} if device is None else device.metrics.to_dict())
+    summary = result.summary()
+    gap = float(result.gap)
+    if options.gap_target is not None:
+        summary["gap_target"] = float(options.gap_target)
+        summary["gap_target_met"] = bool(gap <= options.gap_target)
+    metrics["portfolio"] = summary
+    if result.best is not None:
+        status = "heuristic"
+        objective: float = float(result.best.objective)
+        x: Optional[np.ndarray] = result.best.x
+    elif result.relaxation_status == "infeasible":
+        status, objective, x = "infeasible", float("nan"), None
+    else:
+        status, objective, x = "no_incumbent", float("nan"), None
+    return SolveReport(
+        status=status,
+        objective=objective,
+        x=x,
+        strategy="portfolio",
+        mode=SolveMode.HEURISTIC_ONLY.value,
+        best_bound=float(result.dual_bound),
+        gap=gap,
+        lp_iterations=result.lp_iterations,
+        makespan_seconds=0.0 if device is None else device.clock.now,
+        metrics=metrics,
+    )
 
 
 def _solve_mip(problem: MIPProblem, options: SolveOptions) -> SolveReport:
@@ -300,16 +431,23 @@ def _run_mip_engine(
             engine.node_lp = options.solver.node_lp
             engine.pdhg_options = options.solver.pdhg
 
+    solver_options = options.solver
+    if solver_options.portfolio is None and getattr(engine, "wants_portfolio", False):
+        # The "portfolio" strategy asks for the heuristic phase even when
+        # the caller didn't configure one explicitly.
+        solver_options = replace(solver_options, portfolio=PortfolioOptions())
+
     injector = faults.active()
     resume_stats = None
+    solver = None
     if injector is not None and injector.plan.touches(SITE_NODE):
         from repro.faults.recovery import solve_with_checkpoint_resume
 
         result, resume_stats = solve_with_checkpoint_resume(
-            problem, solver_options=options.solver, engine=engine
+            problem, solver_options=solver_options, engine=engine
         )
     else:
-        solver = BranchAndBoundSolver(problem, options.solver, engine=engine)
+        solver = BranchAndBoundSolver(problem, solver_options, engine=engine)
         result = solver.solve()
 
     strategy_report = None
@@ -325,12 +463,15 @@ def _run_mip_engine(
             "restarts": resume_stats.restarts,
             "checkpoints": resume_stats.checkpoints,
         }
+    if solver is not None and solver.portfolio_result is not None:
+        metrics["portfolio"] = solver.portfolio_result.summary()
 
     report = SolveReport(
         status=result.status.value,
         objective=float(result.objective),
         x=result.x,
         strategy=strategy,
+        mode=options.mode.value,
         best_bound=float(result.best_bound),
         gap=float(result.gap),
         nodes=result.stats.nodes_processed,
@@ -358,23 +499,29 @@ def _solve_mip_batched(problem: MIPProblem, options: SolveOptions) -> SolveRepor
         options=BatchedSolverOptions(
             batch_size=options.mip_node_batch,
             node_limit=options.solver.node_limit,
+            mip_gap=options.solver.mip_gap,
             lp_engine=options.solver.node_lp,
             pdhg=options.solver.pdhg,
+            portfolio=options.solver.portfolio,
         ),
         device=device,
     )
     result = solver.solve()
+    metrics = _fault_metrics(device.metrics.to_dict())
+    if solver.portfolio_result is not None:
+        metrics["portfolio"] = solver.portfolio_result.summary()
     return SolveReport(
         status=result.status.value,
         objective=float(result.objective),
         x=result.x,
         strategy="batched_node",
+        mode=options.mode.value,
         best_bound=float(result.best_bound),
         gap=float(result.gap),
         nodes=result.stats.nodes_processed,
         lp_iterations=result.stats.lp_iterations,
         makespan_seconds=device.clock.now,
-        metrics=_fault_metrics(device.metrics.to_dict()),
+        metrics=metrics,
         result=result,
     )
 

@@ -90,6 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run the problem sanitizer first (see docs/robustness.md)",
     )
+    solve.add_argument(
+        "--mode",
+        choices=["exact", "heuristic_first", "heuristic_only"],
+        default="exact",
+        help="quality-vs-latency contract: exact B&B, portfolio-seeded "
+        "B&B, or the portfolio alone with a certified gap "
+        "(docs/heuristics.md)",
+    )
+    solve.add_argument(
+        "--gap", type=float, default=None, metavar="REL",
+        help="relative-gap target for the non-exact modes (e.g. 0.01)",
+    )
 
     generate = sub.add_parser("generate", help="write a mini-MIPLIB instance")
     generate.add_argument("name", choices=sorted(MINI_MIPLIB))
@@ -243,6 +255,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless warm starts cut pivots/node by this factor",
     )
 
+    portfolio_bench = sub.add_parser(
+        "portfolio-bench",
+        help="E16: time-to-first-incumbent of the heuristic portfolio "
+        "vs pure branch and bound, exported as validated benchmark JSON",
+    )
+    portfolio_bench.add_argument(
+        "--node-limit", type=int, default=2000, dest="node_limit"
+    )
+    portfolio_bench.add_argument("-o", "--out", default="BENCH_portfolio.json")
+    portfolio_bench.add_argument(
+        "--min-speedup", type=float, default=5.0, dest="min_speedup",
+        help="fail unless the gated geomean first-incumbent speedup "
+        "reaches this factor",
+    )
+    portfolio_bench.add_argument(
+        "--skip-pathological", action="store_true",
+        help="first-incumbent corpus only (skip the robustness rows)",
+    )
+
     serve = sub.add_parser(
         "serve-bench",
         help="sweep the batching solve service over batching policies (§5.5)",
@@ -309,9 +340,13 @@ def cmd_solve(args) -> int:
             trace=args.trace is not None,
             deadline=args.deadline,
             sanitize=args.sanitize,
+            mode=args.mode,
+            gap_target=args.gap,
         ),
     )
     result = report.result
+    if args.mode != "exact":
+        print(f"mode      : {args.mode}")
 
     if args.strategy:
         sr = report.strategy_report
@@ -339,7 +374,9 @@ def cmd_solve(args) -> int:
                 print(render_table(["var", "value"], nonzero))
         print(f"nodes     : {report.nodes}")
         print(f"LP iters  : {report.lp_iterations}")
-        if report.status in ("time_limit", "iteration_limit", "node_limit"):
+        if report.status in (
+            "time_limit", "iteration_limit", "node_limit", "heuristic"
+        ):
             bound = report.best_bound
             gap = report.gap
             print(f"bound     : {bound:.6g}" if np.isfinite(bound) else "bound     : inf")
@@ -354,9 +391,20 @@ def cmd_solve(args) -> int:
             save_snapshot(snap, args.checkpoint)
             print(f"checkpoint: {args.checkpoint} ({snap.num_leaves} open leaves)")
 
+    if "portfolio" in report.metrics:
+        pf = report.metrics["portfolio"]
+        first = pf.get("first_incumbent_seconds")
+        if first is not None:
+            print(
+                f"portfolio : first incumbent at {format_seconds(first)} "
+                f"(simulated), {pf.get('incumbents', 0)} incumbents"
+            )
     if args.trace and report.tracer is not None:
         _export_trace(report.tracer, args.trace)
     if report.ok:
+        return 0
+    if report.status == "heuristic":
+        # A certified heuristic answer is what a non-exact mode promised.
         return 0
     if args.deadline is not None and report.status in (
         "time_limit", "iteration_limit", "node_limit"
@@ -661,6 +709,49 @@ def cmd_warm_bench(args) -> int:
     return 0
 
 
+def cmd_portfolio_bench(args) -> int:
+    """``repro portfolio-bench``: the E16 measurement + artifact.
+
+    Runs the time-to-first-incumbent corpus (heuristic portfolio vs
+    pure branch and bound) plus the pathological robustness rows,
+    writes ``BENCH_portfolio.json`` through the :mod:`repro.obs.bench`
+    schema, re-loads it through the validator, and gates on the
+    geometric-mean speedup — the CI ``portfolio-smoke`` job's entry
+    point.
+    """
+    from repro.mip.portfolio_bench import portfolio_bench_payload
+    from repro.obs.bench import load_bench_json, write_bench_json
+
+    payload = portfolio_bench_payload(
+        node_limit=args.node_limit,
+        include_pathological=not args.skip_pathological,
+    )
+    write_bench_json(args.out, payload)
+    loaded = load_bench_json(args.out)
+    summary = loaded["summary"]
+    print(
+        f"portfolio-bench: wrote {args.out} ({len(loaded['rows'])} rows, "
+        f"geomean_speedup={summary['geomean_speedup']}x over "
+        f"{summary['gated_instances']} gated instances, "
+        f"max gap at handover={summary['max_gap_at_handover']})"
+    )
+    if not summary["all_certified"]:
+        print(
+            "portfolio-bench: FAILED — a corpus instance produced no "
+            "certified incumbent",
+            file=sys.stderr,
+        )
+        return 1
+    if summary["geomean_speedup"] < args.min_speedup:
+        print(
+            f"portfolio-bench: FAILED geomean_speedup "
+            f"{summary['geomean_speedup']} < required {args.min_speedup}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_serve_bench(args) -> int:
     """``repro serve-bench``: offered load vs batching policy sweep."""
     from repro.serve import BatchingPolicy, lp_pool, run_load, synthetic_stream
@@ -769,6 +860,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "guard": cmd_guard,
         "bench-smoke": cmd_bench_smoke,
         "warm-bench": cmd_warm_bench,
+        "portfolio-bench": cmd_portfolio_bench,
         "serve-bench": cmd_serve_bench,
     }
     try:

@@ -44,6 +44,7 @@ from repro.lp.warm import (
     state_from_result,
     warm_resolve,
 )
+from repro.mip.portfolio import PortfolioOptions, run_portfolio
 from repro.mip.problem import MIPProblem
 from repro.mip.result import MIPResult, MIPStats, MIPStatus
 from repro.mip.tree import BBTree, BoundChange, NodeTag
@@ -64,6 +65,10 @@ class BatchedSolverOptions:
     #: to exact simplex so statuses stay vertex-grade).
     lp_engine: str = "simplex"
     pdhg: PDHGOptions = None
+    #: Run the batched primal-heuristic portfolio
+    #: (:mod:`repro.mip.portfolio`) on the device before the first
+    #: round; its best certified incumbent pre-prunes the frontier.
+    portfolio: Optional[PortfolioOptions] = None
 
     def __post_init__(self):
         if self.simplex is None:
@@ -122,6 +127,8 @@ class BatchedNodeSolver:
         self.device = device if device is not None else Device(spec)
         self.stats = MIPStats()
         self.rounds = 0
+        #: Result of the pre-search portfolio phase (None = not run).
+        self.portfolio_result = None
         self._tol = DEFAULT_CONFIG.tolerances
         #: Bounded per-node warm states (basis + resident factorization).
         self._warm_states = WarmStateCache(capacity=64)
@@ -149,6 +156,28 @@ class BatchedNodeSolver:
 
         incumbent_obj = -np.inf
         incumbent_x: Optional[np.ndarray] = None
+
+        def note_first_incumbent() -> None:
+            if self.stats.first_incumbent_nodes < 0:
+                self.stats.first_incumbent_nodes = self.stats.nodes_processed
+                self.stats.first_incumbent_seconds = self.device.clock.now
+
+        # Portfolio phase: batched primal heuristics on the same device
+        # seed the incumbent before the first frontier round.
+        if options.portfolio is not None:
+            pr = run_portfolio(problem, options.portfolio, device=self.device)
+            self.portfolio_result = pr
+            self.stats.portfolio_restarts = pr.stats.get("restarts", 0)
+            self.stats.portfolio_sweeps = pr.stats.get("fj_sweeps", 0)
+            self.stats.portfolio_incumbents = len(pr.incumbents)
+            self.stats.portfolio_seconds = pr.elapsed_seconds
+            self.stats.lp_iterations += pr.lp_iterations
+            if pr.best is not None:
+                incumbent_obj, incumbent_x = pr.best.objective, pr.best.x.copy()
+                self.stats.heuristic_solutions += 1
+                note_first_incumbent()
+                self.stats.incumbent_history.append((0, incumbent_obj))
+
         # Open pool: (neg bound, node_id) sorted per round (best-first).
         pool: List[Tuple[float, int]] = [(-np.inf, 0)]
 
@@ -213,6 +242,7 @@ class BatchedNodeSolver:
                     obj = problem.objective(x)
                     if obj > incumbent_obj:
                         incumbent_obj, incumbent_x = obj, x
+                        note_first_incumbent()
                         self.stats.incumbent_history.append(
                             (self.stats.nodes_processed, obj)
                         )

@@ -1,34 +1,52 @@
-"""Primal heuristics: cheap searches for incumbent solutions.
+"""Deprecated serial primal heuristics — use :mod:`repro.mip.portfolio`.
 
-Strategy 3 of the paper (§3) highlights "advanced heuristics such as
-probing, cut generation, column generation" as the CPU-side work of a
-hybrid solver.  Two classics are implemented; both return a feasible
-point (or None) and never claim optimality.
+These three functions were the repo's original CPU-side heuristics
+(paper §3's "advanced heuristics" assigned to the host).  The batched,
+seeded portfolio (:func:`repro.mip.portfolio.run_portfolio`) subsumes
+all of them; what remains here are thin compatibility wrappers that
+emit :class:`DeprecationWarning` and delegate:
+
+- :func:`rounding_heuristic` → :func:`repro.mip.portfolio.round_to_feasible`
+- :func:`diving_heuristic` → :func:`repro.mip.portfolio.dive_fix`
+- :func:`feasibility_pump` → a small :func:`repro.mip.portfolio.run_portfolio`
+  call (feasibility jump + fix-and-propagate, LNS off)
+
+Each wrapper keeps the historical contract: a feasible point or None,
+never a claim of optimality.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional
 
 import numpy as np
 
 from repro.lp.problem import LinearProgram
-from repro.lp.result import LPStatus
 from repro.lp.simplex import solve_lp
+from repro.mip.portfolio import (
+    PortfolioOptions,
+    dive_fix,
+    round_to_feasible,
+    run_portfolio,
+)
 from repro.mip.problem import MIPProblem
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.mip.heuristics.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def rounding_heuristic(
     problem: MIPProblem, x: np.ndarray
 ) -> Optional[np.ndarray]:
-    """Round the LP solution on the integer variables; keep if feasible."""
-    candidate = np.asarray(x, dtype=np.float64).copy()
-    idx = problem.integer
-    candidate[idx] = np.round(candidate[idx])
-    candidate[idx] = np.clip(candidate[idx], problem.lb[idx], problem.ub[idx])
-    if problem.is_feasible(candidate):
-        return candidate
-    return None
+    """Deprecated: use :func:`repro.mip.portfolio.round_to_feasible`."""
+    _warn("rounding_heuristic", "repro.mip.portfolio.round_to_feasible")
+    return round_to_feasible(problem, x)
 
 
 def feasibility_pump(
@@ -37,73 +55,30 @@ def feasibility_pump(
     lp_solver: Callable = solve_lp,
     seed: int = 0,
 ) -> Optional[np.ndarray]:
-    """Feasibility pump (Fischetti–Glover–Lodi, simplified).
+    """Deprecated: use :func:`repro.mip.portfolio.run_portfolio`.
 
-    Alternates between an LP-feasible point and its integer rounding,
-    each LP minimizing the L1 distance to the previous rounding.  On a
-    rounding cycle, a few integer components are randomly flipped (the
-    classic perturbation).  Returns a feasible point or None.
+    Delegates to a small portfolio run (feasibility jump over a handful
+    of seeded restarts plus fix-and-propagate; LNS and certification
+    off, matching the old pump's cost profile).  ``lp_solver`` is kept
+    for signature compatibility; the portfolio always uses the exact
+    simplex path.
     """
-    rng = np.random.default_rng(seed)
-    relax = problem.relaxation()
-    base = lp_solver(relax)
-    if base.status is not LPStatus.OPTIMAL:
+    _warn("feasibility_pump", "repro.mip.portfolio.run_portfolio")
+    del lp_solver  # legacy parameter; the portfolio pins its LP engine
+    result = run_portfolio(
+        problem,
+        PortfolioOptions(
+            seed=seed,
+            restarts=8,
+            n_jobs=8,
+            fj_sweeps=max(1, max_iterations),
+            lns=False,
+            certify=False,
+        ),
+    )
+    if result.best is None:
         return None
-    x = base.x
-    idx = np.nonzero(problem.integer)[0]
-    previous_roundings = set()
-
-    for _ in range(max_iterations):
-        x_round = x.copy()
-        x_round[idx] = np.clip(
-            np.round(x_round[idx]), problem.lb[idx], problem.ub[idx]
-        )
-        if problem.is_feasible(x_round):
-            return x_round
-        key = tuple(x_round[idx].astype(np.int64))
-        if key in previous_roundings:
-            # Cycle: flip a random subset of the most fractional vars.
-            flips = rng.choice(idx, size=max(1, idx.size // 4), replace=False)
-            for j in flips:
-                lo, hi = problem.lb[j], problem.ub[j]
-                x_round[j] = float(
-                    np.clip(x_round[j] + rng.choice([-1.0, 1.0]), lo, hi)
-                )
-            key = tuple(x_round[idx].astype(np.int64))
-        previous_roundings.add(key)
-
-        # Distance LP: minimize sum |x_j - x_round_j| over integer vars.
-        # For bounded binaries/integers: |x - r| is x - r when pushing
-        # down is impossible and r - x when pushing up is impossible;
-        # generally encode via the objective sign at the rounded point.
-        c_dist = np.zeros(problem.n)
-        for j in idx:
-            lo, hi = problem.lb[j], problem.ub[j]
-            if x_round[j] <= lo + 1e-9:
-                c_dist[j] = -1.0  # minimize x_j - lo  -> maximize -x_j
-            elif x_round[j] >= hi - 1e-9:
-                c_dist[j] = 1.0  # minimize hi - x_j -> maximize x_j
-            else:
-                # Interior rounding: pull toward it from whichever side;
-                # approximate with the sign of the current deviation.
-                c_dist[j] = 1.0 if x[j] < x_round[j] else -1.0
-        dist_lp = LinearProgram(
-            c=c_dist,
-            a_ub=relax.a_ub,
-            b_ub=relax.b_ub,
-            a_eq=relax.a_eq,
-            b_eq=relax.b_eq,
-            lb=relax.lb,
-            ub=relax.ub,
-        )
-        res = lp_solver(dist_lp)
-        if res.status is not LPStatus.OPTIMAL:
-            return None
-        x = res.x
-        fractional = problem.fractional_integers(x)
-        if fractional.size == 0 and problem.is_feasible(x):
-            return x
-    return None
+    return result.best.x
 
 
 def diving_heuristic(
@@ -113,28 +88,6 @@ def diving_heuristic(
     max_depth: int = 20,
     lp_solver: Callable = solve_lp,
 ) -> Optional[np.ndarray]:
-    """Fix-and-resolve dive toward an integral point.
-
-    Repeatedly fixes the *least* fractional integer variable to its
-    nearest integer and re-solves the LP; stops at integrality (success),
-    infeasibility, or the depth limit.  Returns a feasible point or None.
-    """
-    current_lp = node_lp
-    current_x = np.asarray(x, dtype=np.float64)
-    for _ in range(max_depth):
-        fractional = problem.fractional_integers(current_x)
-        if fractional.size == 0:
-            if problem.is_feasible(current_x):
-                return current_x
-            return None
-        frac_parts = current_x[fractional] - np.floor(current_x[fractional])
-        dist = np.minimum(frac_parts, 1.0 - frac_parts)
-        var = int(fractional[np.argmin(dist)])
-        value = float(np.round(current_x[var]))
-        value = float(np.clip(value, current_lp.lb[var], current_lp.ub[var]))
-        current_lp = current_lp.with_bounds(var, lb=value, ub=value)
-        res = lp_solver(current_lp)
-        if res.status is not LPStatus.OPTIMAL:
-            return None
-        current_x = res.x
-    return None
+    """Deprecated: use :func:`repro.mip.portfolio.dive_fix`."""
+    _warn("diving_heuristic", "repro.mip.portfolio.dive_fix")
+    return dive_fix(problem, node_lp, x, max_depth=max_depth, lp_solver=lp_solver)

@@ -1,0 +1,765 @@
+"""repro.mip.portfolio — batched, seeded primal-heuristic portfolio.
+
+The paper's hybrid strategy (§3) leaves heuristics on the CPU side, but
+feasibility-jump / fix-and-propagate searches are wide, lockstep,
+data-parallel workloads — exactly what the simulated device model was
+built to price.  This module runs three complementary primal heuristics
+under one roof and one seed:
+
+- **feasibility jump** — many independent restarts advanced in masked
+  lockstep sweeps, one ``(k, n_int)`` state block per chunk.  Each sweep
+  scores every ±1 move of every integer variable for every member in two
+  fused GEMM-shaped passes (charged as :func:`repro.device.kernels.gemm_kernel`
+  like :mod:`repro.lp.pdhg_batch` charges its batched matvecs), applies
+  the best strictly-improving move per member with one masked AXPY, and
+  bumps each stuck member's *own* violated-row weights (per-member weight
+  vectors — the classic feasibility-jump restart rule);
+- **fix-and-propagate** — rounds the root-LP point at a *batch* of
+  fixing thresholds, propagates variable bounds through the rows after
+  each fixing, re-solves the residual LP, and dives the leftovers;
+- **LNS** — re-solves small sub-MIPs around the incumbent with most
+  integers pinned, through the ordinary branch-and-bound driver so the
+  existing warm-start machinery (:mod:`repro.lp.warm`) carries bases
+  between the sub-tree's nodes.
+
+Every incumbent is audited by the exact-rational certificate
+(:func:`repro.check.certify_mip_solution`) before it is trusted; the
+root relaxation's objective is kept as the dual bound so callers can
+report a *certified* gap for heuristic-only answers.
+
+Determinism: member ``r``'s trajectory depends only on ``(seed, r)`` —
+per-member RNG streams, per-row lockstep math — so the same seed yields
+the same incumbent for any ``n_jobs`` chunk width, and ties between
+equal-objective incumbents break on (phase, member) order, not on
+scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.device import kernels as K
+from repro.device.gpu import Device
+from repro.errors import ReproError
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPStatus
+from repro.lp.simplex import solve_lp
+from repro.mip.problem import MIPProblem
+
+#: Tie-break order between equal-objective incumbents (earlier wins).
+_PHASE_RANK = {"rounding": 0, "feasibility_jump": 1, "fix_propagate": 2, "lns": 3}
+
+
+@dataclass
+class PortfolioOptions:
+    """Configuration for one :func:`run_portfolio` call."""
+
+    #: Master seed; member ``r`` draws from ``default_rng((seed, r))``.
+    seed: int = 0
+    #: Total feasibility-jump restarts (fixed — independent of n_jobs).
+    restarts: int = 32
+    #: Lockstep chunk width: how many restarts advance per device sweep.
+    n_jobs: int = 16
+    #: Masked lockstep sweeps per feasibility-jump chunk.
+    fj_sweeps: int = 120
+    #: Run the feasibility-jump phase.
+    feasibility_jump: bool = True
+    #: Run the fix-and-propagate phase.
+    fix_propagate: bool = True
+    #: Rounding thresholds the fix-and-propagate phase batches over.
+    thresholds: Tuple[float, ...] = (0.05, 0.2, 0.35, 0.5)
+    #: Run the large-neighborhood-search phase.
+    lns: bool = True
+    lns_rounds: int = 2
+    #: Fraction of the integer variables left free per LNS sub-MIP.
+    lns_neighborhood: float = 0.3
+    #: Node budget per LNS sub-MIP re-solve.
+    lns_node_limit: int = 200
+    #: Audit every incumbent with the exact-rational certificate before
+    #: trusting it (rejected candidates are counted, never returned).
+    certify: bool = True
+
+    def __post_init__(self):
+        if self.restarts < 1:
+            raise ReproError(f"restarts must be at least 1, got {self.restarts!r}")
+        if self.n_jobs < 1:
+            raise ReproError(f"n_jobs must be at least 1, got {self.n_jobs!r}")
+        if self.fj_sweeps < 1:
+            raise ReproError(f"fj_sweeps must be at least 1, got {self.fj_sweeps!r}")
+        if self.lns_rounds < 0:
+            raise ReproError(
+                f"lns_rounds must be non-negative, got {self.lns_rounds!r}"
+            )
+        if not 0.0 < self.lns_neighborhood <= 1.0:
+            raise ReproError(
+                "lns_neighborhood must be in (0, 1], "
+                f"got {self.lns_neighborhood!r}"
+            )
+        if self.lns_node_limit < 1:
+            raise ReproError(
+                f"lns_node_limit must be positive, got {self.lns_node_limit!r}"
+            )
+        for t in self.thresholds:
+            if not 0.0 <= t <= 0.5:
+                raise ReproError(
+                    f"thresholds must lie in [0, 0.5], got {t!r}"
+                )
+
+
+@dataclass
+class PortfolioIncumbent:
+    """One certified feasible point found by the portfolio."""
+
+    x: np.ndarray
+    objective: float
+    #: Which phase produced it: "feasibility_jump", "fix_propagate", "lns".
+    heuristic: str
+    #: Restart index / threshold index / LNS round — phase-local id.
+    member: int
+    #: True when the exact-rational certificate audited this point.
+    certified: bool = False
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of one :func:`run_portfolio` call."""
+
+    #: Every accepted incumbent, in discovery order.
+    incumbents: List[PortfolioIncumbent] = field(default_factory=list)
+    #: Best incumbent (deterministic tie-break), None when none found.
+    best: Optional[PortfolioIncumbent] = None
+    #: Root-relaxation objective — the dual bound a heuristic answer's
+    #: certified gap is measured against (+inf when the LP was unusable,
+    #: -inf when the relaxation itself is infeasible).
+    dual_bound: float = float("inf")
+    #: Root relaxation status value ("optimal", "infeasible", ...).
+    relaxation_status: str = ""
+    #: Phase counters for ``MIPStats`` / report metrics.
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: LP pivots spent across root/polish/dive/LNS solves.
+    lp_iterations: int = 0
+    #: Simulated device seconds charged by the portfolio (0 host-only).
+    elapsed_seconds: float = 0.0
+    #: Device clock at the moment the first incumbent landed (NaN if none).
+    first_incumbent_seconds: float = float("nan")
+
+    @property
+    def objective(self) -> float:
+        """Best incumbent objective (NaN when none found)."""
+        return self.best.objective if self.best is not None else float("nan")
+
+    @property
+    def gap(self) -> float:
+        """Relative certified gap of the best incumbent vs the dual bound."""
+        if self.best is None or not np.isfinite(self.dual_bound):
+            return float("inf")
+        obj = self.best.objective
+        return abs(self.dual_bound - obj) / max(1e-10, abs(obj))
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly counters for report metrics."""
+        out: Dict[str, object] = dict(self.stats)
+        out["incumbents"] = len(self.incumbents)
+        out["lp_iterations"] = self.lp_iterations
+        out["elapsed_seconds"] = float(self.elapsed_seconds)
+        out["first_incumbent_seconds"] = (
+            None
+            if not np.isfinite(self.first_incumbent_seconds)
+            else float(self.first_incumbent_seconds)
+        )
+        out["objective"] = (
+            None if self.best is None else float(self.best.objective)
+        )
+        out["dual_bound"] = (
+            None if not np.isfinite(self.dual_bound) else float(self.dual_bound)
+        )
+        out["gap"] = None if not np.isfinite(self.gap) else float(self.gap)
+        if self.best is not None:
+            out["best_heuristic"] = self.best.heuristic
+        return out
+
+
+# ---------------------------------------------------------------------------
+# shared building blocks (also the implementations behind the deprecated
+# repro.mip.heuristics wrappers)
+# ---------------------------------------------------------------------------
+
+
+def round_to_feasible(problem: MIPProblem, x: np.ndarray) -> Optional[np.ndarray]:
+    """Round the integer components of ``x``; keep the point if feasible."""
+    candidate = np.asarray(x, dtype=np.float64).copy()
+    idx = problem.integer
+    candidate[idx] = np.round(candidate[idx])
+    candidate[idx] = np.clip(candidate[idx], problem.lb[idx], problem.ub[idx])
+    if problem.is_feasible(candidate):
+        return candidate
+    return None
+
+
+def dive_fix(
+    problem: MIPProblem,
+    node_lp: LinearProgram,
+    x: np.ndarray,
+    max_depth: int = 20,
+    lp_solver: Callable = solve_lp,
+) -> Optional[np.ndarray]:
+    """Fix-and-resolve dive: pin the least-fractional integer, re-solve.
+
+    Stops at integrality (success), LP infeasibility, or the depth
+    limit.  Returns a feasible point or None; never claims optimality.
+    """
+    current_lp = node_lp
+    current_x = np.asarray(x, dtype=np.float64)
+    iterations = 0
+    for _ in range(max_depth):
+        fractional = problem.fractional_integers(current_x)
+        if fractional.size == 0:
+            if problem.is_feasible(current_x):
+                return current_x
+            return None
+        frac_parts = current_x[fractional] - np.floor(current_x[fractional])
+        dist = np.minimum(frac_parts, 1.0 - frac_parts)
+        var = int(fractional[np.argmin(dist)])
+        value = float(np.round(current_x[var]))
+        value = float(np.clip(value, current_lp.lb[var], current_lp.ub[var]))
+        current_lp = current_lp.with_bounds(var, lb=value, ub=value)
+        res = lp_solver(current_lp)
+        iterations += res.iterations
+        if res.status is not LPStatus.OPTIMAL:
+            return None
+        current_x = res.x
+    return None
+
+
+def propagate_bounds(
+    problem: MIPProblem,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    max_passes: int = 4,
+    tol: float = 1e-7,
+) -> Tuple[np.ndarray, np.ndarray, bool]:
+    """Row-activity bound propagation over fixed/tightened boxes.
+
+    Standard min-activity argument: for a ≤-row, the smallest achievable
+    activity must not exceed the rhs, and each variable's bound tightens
+    against the row's residual slack.  Equality rows propagate in both
+    directions.  Integer bounds round inward.  Returns ``(lb, ub,
+    feasible)``; infeasible means the fixing is proven contradictory.
+    """
+    lb = lb.astype(np.float64).copy()
+    ub = ub.astype(np.float64).copy()
+    rows: List[Tuple[np.ndarray, float]] = []
+    if problem.a_ub is not None:
+        for i in range(problem.a_ub.shape[0]):
+            rows.append((problem.a_ub[i], float(problem.b_ub[i])))
+    if problem.a_eq is not None:
+        for i in range(problem.a_eq.shape[0]):
+            rows.append((problem.a_eq[i], float(problem.b_eq[i])))
+            rows.append((-problem.a_eq[i], -float(problem.b_eq[i])))
+    integer = problem.integer
+    for _ in range(max_passes):
+        changed = False
+        if np.any(lb > ub + tol):
+            return lb, ub, False
+        for a, b in rows:
+            pos = a > 0
+            neg = a < 0
+            min_act = float(a[pos] @ lb[pos] + a[neg] @ ub[neg])
+            slack = b - min_act
+            if slack < -tol * (1.0 + abs(b)):
+                return lb, ub, False
+            support = np.nonzero(a)[0]
+            for j in support:
+                aj = a[j]
+                if aj > 0:
+                    new_ub = lb[j] + slack / aj
+                    if integer[j]:
+                        new_ub = np.floor(new_ub + tol)
+                    if new_ub < ub[j] - tol:
+                        ub[j] = new_ub
+                        changed = True
+                else:
+                    new_lb = ub[j] + slack / aj
+                    if integer[j]:
+                        new_lb = np.ceil(new_lb - tol)
+                    if new_lb > lb[j] + tol:
+                        lb[j] = new_lb
+                        changed = True
+        if not changed:
+            break
+    return lb, ub, not np.any(lb > ub + tol)
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _charge_lp_stream(device: Optional[Device], m: int, n: int, iterations: int) -> None:
+    """Price one serial small-LP solve (same stream repro.api charges)."""
+    if device is None or m <= 0:
+        return
+    device._charge(K.getrf_kernel(m), None)
+    for _ in range(max(1, iterations)):
+        device._charge(K.trsv_kernel(m), None)
+        device._charge(K.trsv_kernel(m), None)
+        device._charge(K.gemv_kernel(n, m), None)
+
+
+class _Collector:
+    """Accepts candidate points, certifies them, tracks the stats."""
+
+    def __init__(self, problem: MIPProblem, options: PortfolioOptions,
+                 device: Optional[Device]):
+        self.problem = problem
+        self.options = options
+        self.device = device
+        self.incumbents: List[PortfolioIncumbent] = []
+        self.rejected = 0
+        self.first_seconds = float("nan")
+
+    def offer(self, x: np.ndarray, heuristic: str, member: int) -> bool:
+        """Audit and record one candidate; True when it was accepted."""
+        x = np.asarray(x, dtype=np.float64)
+        if not self.problem.is_feasible(x):
+            return False
+        obj = float(self.problem.objective(x))
+        certified = False
+        if self.options.certify:
+            from repro.check import certify_mip_solution
+
+            report = certify_mip_solution(self.problem, x, objective=obj)
+            if not report.ok:
+                self.rejected += 1
+                return False
+            certified = True
+        self.incumbents.append(
+            PortfolioIncumbent(
+                x=x.copy(), objective=obj, heuristic=heuristic,
+                member=member, certified=certified,
+            )
+        )
+        if self.device is not None and np.isnan(self.first_seconds):
+            self.first_seconds = self.device.clock.now
+        obs.event(
+            "portfolio.incumbent", category="mip",
+            objective=obj, heuristic=heuristic, member=member,
+        )
+        return True
+
+    def best(self) -> Optional[PortfolioIncumbent]:
+        """Deterministic best: objective, then phase order, then member."""
+        if not self.incumbents:
+            return None
+        return max(
+            self.incumbents,
+            key=lambda inc: (
+                inc.objective,
+                -_PHASE_RANK.get(inc.heuristic, 9),
+                -inc.member,
+            ),
+        )
+
+
+@dataclass
+class _Prep:
+    """Shared per-problem data every phase reads."""
+
+    idx: np.ndarray          # integer variable indices
+    cont: np.ndarray         # continuous variable indices
+    a_rows: np.ndarray       # all rows as <= inequalities, (p, n)
+    b_rows: np.ndarray       # (p,)
+    x_lp: Optional[np.ndarray]
+    dual_bound: float
+    relaxation_status: str
+    lp_iterations: int
+
+
+def _prepare(problem: MIPProblem, device: Optional[Device]) -> _Prep:
+    """Solve the root relaxation once; assemble the unified row system."""
+    idx = np.nonzero(problem.integer)[0]
+    cont = np.nonzero(~problem.integer)[0]
+    blocks = []
+    rhs = []
+    if problem.a_ub is not None:
+        blocks.append(problem.a_ub)
+        rhs.append(problem.b_ub)
+    if problem.a_eq is not None:
+        blocks.append(problem.a_eq)
+        rhs.append(problem.b_eq)
+        blocks.append(-problem.a_eq)
+        rhs.append(-problem.b_eq)
+    if blocks:
+        a_rows = np.vstack(blocks).astype(np.float64)
+        b_rows = np.concatenate(rhs).astype(np.float64)
+    else:
+        a_rows = np.zeros((0, problem.n))
+        b_rows = np.zeros(0)
+
+    relax = problem.relaxation()
+    res = solve_lp(relax)
+    sf_m = relax.to_standard_form().m if problem.n else 0
+    _charge_lp_stream(device, sf_m, problem.n, res.iterations)
+    x_lp = None
+    dual_bound = float("inf")
+    if res.status is LPStatus.OPTIMAL:
+        x_lp = np.clip(res.x, problem.lb, problem.ub)
+        dual_bound = float(res.objective)
+    elif res.status is LPStatus.INFEASIBLE:
+        dual_bound = float("-inf")
+    return _Prep(
+        idx=idx,
+        cont=cont,
+        a_rows=a_rows,
+        b_rows=b_rows,
+        x_lp=x_lp,
+        dual_bound=dual_bound,
+        relaxation_status=res.status.value,
+        lp_iterations=res.iterations,
+    )
+
+
+def _assemble(
+    problem: MIPProblem, prep: _Prep, x_int: np.ndarray,
+    collector: _Collector, device: Optional[Device],
+) -> Tuple[np.ndarray, int]:
+    """Full-space candidate from an integer assignment.
+
+    With continuous variables present, polish them by re-solving the LP
+    with the integers pinned (charged as one small-LP stream); without,
+    the integer assignment is the whole point.
+    """
+    x = np.zeros(problem.n)
+    x[prep.idx] = x_int
+    if prep.cont.size == 0:
+        return x, 0
+    if prep.x_lp is not None:
+        x[prep.cont] = prep.x_lp[prep.cont]
+    lb = problem.lb.copy()
+    ub = problem.ub.copy()
+    lb[prep.idx] = x_int
+    ub[prep.idx] = x_int
+    polish = LinearProgram(
+        c=problem.c, a_ub=problem.a_ub, b_ub=problem.b_ub,
+        a_eq=problem.a_eq, b_eq=problem.b_eq, lb=lb, ub=ub,
+    )
+    res = solve_lp(polish)
+    sf_m = polish.to_standard_form().m
+    _charge_lp_stream(device, sf_m, problem.n, res.iterations)
+    if res.status is LPStatus.OPTIMAL:
+        return np.clip(res.x, problem.lb, problem.ub), res.iterations
+    return x, res.iterations
+
+
+def _feasibility_jump(
+    problem: MIPProblem,
+    options: PortfolioOptions,
+    prep: _Prep,
+    collector: _Collector,
+    device: Optional[Device],
+) -> Tuple[int, int]:
+    """Wide restarts in masked lockstep chunks; returns (sweeps, lp_iters).
+
+    The state is a ``(k, n_int)`` block per chunk.  One sweep scores the
+    down- and up-moves of every integer variable for every active member
+    (two GEMM-shaped passes over the ``(k, rows, n_int)`` broadcast),
+    applies each member's best strictly-improving move with one masked
+    AXPY, and bumps stuck members' violated-row weights before a seeded
+    kick.  Rows/columns are member-independent, so a member's trajectory
+    is identical for any chunk width.
+    """
+    idx = prep.idx
+    ni = idx.size
+    if ni == 0:
+        return 0, 0
+    lb_i = problem.lb[idx]
+    ub_i = problem.ub[idx]
+    a_int = prep.a_rows[:, idx] if prep.a_rows.size else np.zeros((0, ni))
+    p = a_int.shape[0]
+    # Continuous contribution is frozen at the root-LP point (polished
+    # per candidate later); fold it into the rhs.
+    if prep.cont.size and prep.x_lp is not None:
+        b_eff = prep.b_rows - prep.a_rows[:, prep.cont] @ prep.x_lp[prep.cont]
+    else:
+        b_eff = prep.b_rows.copy()
+    row_tol = 1e-7 * (1.0 + np.abs(b_eff))
+    c_int = problem.c[idx]
+    obj_eps = 1e-4 / max(1.0, float(np.abs(c_int).max()) if ni else 1.0)
+    if prep.x_lp is not None:
+        base_round = np.clip(np.round(prep.x_lp[idx]), lb_i, ub_i)
+    else:
+        base_round = np.clip(np.zeros(ni), lb_i, ub_i)
+
+    total_sweeps = 0
+    lp_iters = 0
+    for chunk_start in range(0, options.restarts, options.n_jobs):
+        members = list(range(chunk_start, min(chunk_start + options.n_jobs,
+                                              options.restarts)))
+        k = len(members)
+        rngs = [np.random.default_rng((options.seed, r)) for r in members]
+        x = np.tile(base_round, (k, 1))
+        for t, r in enumerate(members):
+            if r == 0:
+                continue
+            # Later restarts randomize a growing share of the rounding.
+            share = min(0.9, 0.1 + r / max(1, options.restarts))
+            mask = rngs[t].random(ni) < share
+            draw = rngs[t].integers(
+                lb_i.astype(np.int64), ub_i.astype(np.int64) + 1
+            ).astype(np.float64)
+            x[t] = np.where(mask, draw, x[t])
+        # Residuals per member via gemv (k-independent math per row).
+        res = np.stack([a_int @ x[t] for t in range(k)]) - b_eff[None, :] \
+            if p else np.zeros((k, 0))
+        if device is not None and p:
+            device._charge(K.gemm_kernel(k, p, ni), None)
+        w = np.ones((k, p))
+        active = np.ones(k, dtype=bool)
+
+        for _sweep in range(options.fj_sweeps):
+            if not active.any():
+                break
+            total_sweeps += 1
+            viol = (w * np.maximum(res, 0.0)).sum(axis=1) if p else np.zeros(k)
+            # Members whose integer rows close out: assemble + audit.
+            for t in np.nonzero(active)[0]:
+                if p == 0 or (res[t] <= row_tol).all():
+                    cand, it = _assemble(problem, prep, x[t], collector, device)
+                    lp_iters += it
+                    collector.offer(cand, "feasibility_jump", members[t])
+                    active[t] = False
+            if not active.any():
+                break
+
+            down_d = np.where(x > lb_i[None, :] + 0.5, -1.0, 0.0)
+            up_d = np.where(x < ub_i[None, :] - 0.5, 1.0, 0.0)
+            if p:
+                # Two fused score passes — the same (k × rows · n_int)
+                # arithmetic a batched GEMM would do, charged as such.
+                new_down = res[:, :, None] + a_int[None, :, :] * down_d[:, None, :]
+                new_up = res[:, :, None] + a_int[None, :, :] * up_d[:, None, :]
+                viol_down = (w[:, :, None] * np.maximum(new_down, 0.0)).sum(axis=1)
+                viol_up = (w[:, :, None] * np.maximum(new_up, 0.0)).sum(axis=1)
+                if device is not None:
+                    device._charge(K.gemm_kernel(k, p, ni), None)
+                    device._charge(K.gemm_kernel(k, p, ni), None)
+            else:
+                viol_down = np.zeros((k, ni))
+                viol_up = np.zeros((k, ni))
+            score_down = viol_down - viol[:, None] - obj_eps * c_int[None, :] * down_d
+            score_up = viol_up - viol[:, None] - obj_eps * c_int[None, :] * up_d
+            score_down[down_d == 0.0] = np.inf
+            score_up[up_d == 0.0] = np.inf
+            scores = np.concatenate([score_down, score_up], axis=1)  # (k, 2ni)
+            pick = np.argmin(scores, axis=1)
+            best_score = scores[np.arange(k), pick]
+            improving = active & (best_score < -1e-9)
+
+            # Masked apply: each improving member moves one coordinate.
+            for t in np.nonzero(improving)[0]:
+                j = int(pick[t] % ni)
+                d = -1.0 if pick[t] < ni else 1.0
+                x[t, j] += d
+                if p:
+                    res[t] += d * a_int[:, j]
+            if device is not None and improving.any():
+                device._charge(K.axpy_kernel(k * ni), None)
+
+            # Stuck members: per-member weight bump + seeded kick.
+            stuck = active & ~improving
+            for t in np.nonzero(stuck)[0]:
+                if p:
+                    w[t, res[t] > row_tol] += 1.0
+                kick = rngs[t].choice(ni, size=max(1, ni // 8), replace=False)
+                for j in kick:
+                    step = float(rngs[t].choice([-1.0, 1.0]))
+                    new_val = float(np.clip(x[t, j] + step, lb_i[j], ub_i[j]))
+                    d = new_val - x[t, j]
+                    if d != 0.0:
+                        x[t, j] = new_val
+                        if p:
+                            res[t] += d * a_int[:, j]
+    return total_sweeps, lp_iters
+
+
+def _fix_and_propagate(
+    problem: MIPProblem,
+    options: PortfolioOptions,
+    prep: _Prep,
+    collector: _Collector,
+    device: Optional[Device],
+) -> Tuple[int, int]:
+    """LP-guided fixing batched over thresholds; returns (rounds, lp_iters)."""
+    if prep.x_lp is None or prep.idx.size == 0:
+        return 0, 0
+    idx = prep.idx
+    frac = prep.x_lp[idx] - np.floor(prep.x_lp[idx])
+    thresholds = np.asarray(options.thresholds, dtype=np.float64)
+    # Batched fixing decision: one boolean block for all thresholds.
+    fix_down = frac[None, :] <= thresholds[:, None]
+    fix_up = frac[None, :] >= 1.0 - thresholds[:, None]
+    rounds = 0
+    lp_iters = 0
+    for ti in range(thresholds.size):
+        lb = problem.lb.copy()
+        ub = problem.ub.copy()
+        vals = np.where(fix_up[ti], np.ceil(prep.x_lp[idx]),
+                        np.floor(prep.x_lp[idx]))
+        fixed = fix_down[ti] | fix_up[ti]
+        lb[idx[fixed]] = vals[fixed]
+        ub[idx[fixed]] = vals[fixed]
+        lb2, ub2, ok = propagate_bounds(problem, lb, ub)
+        if not ok:
+            continue
+        rounds += 1
+        residual = LinearProgram(
+            c=problem.c, a_ub=problem.a_ub, b_ub=problem.b_ub,
+            a_eq=problem.a_eq, b_eq=problem.b_eq, lb=lb2, ub=ub2,
+        )
+        res = solve_lp(residual)
+        sf_m = residual.to_standard_form().m
+        _charge_lp_stream(device, sf_m, problem.n, res.iterations)
+        lp_iters += res.iterations
+        if res.status is not LPStatus.OPTIMAL:
+            continue
+        x = np.clip(res.x, lb2, ub2)
+        if problem.fractional_integers(x).size:
+            x = dive_fix(problem, residual, x, max_depth=min(25, idx.size))
+            if x is None:
+                continue
+        collector.offer(x, "fix_propagate", ti)
+    return rounds, lp_iters
+
+
+def _lns(
+    problem: MIPProblem,
+    options: PortfolioOptions,
+    prep: _Prep,
+    collector: _Collector,
+    device: Optional[Device],
+) -> Tuple[int, int]:
+    """Warm-started sub-MIP re-solves around the incumbent."""
+    # Imported here: mip.solver imports this module for its rounding
+    # heuristic, so the top level must stay solver-free.
+    from repro.mip.solver import BranchAndBoundSolver, SolverOptions
+
+    idx = prep.idx
+    if idx.size == 0:
+        return 0, 0
+    rounds = 0
+    lp_iters = 0
+    for round_i in range(options.lns_rounds):
+        best = collector.best()
+        if best is None:
+            break
+        rng = np.random.default_rng((options.seed, 7919, round_i))
+        free_count = max(1, int(np.ceil(idx.size * options.lns_neighborhood)))
+        free = rng.choice(idx, size=min(free_count, idx.size), replace=False)
+        pinned = np.setdiff1d(idx, free)
+        if pinned.size == 0 and idx.size > 1:
+            continue
+        lb = problem.lb.copy()
+        ub = problem.ub.copy()
+        lb[pinned] = np.round(best.x[pinned])
+        ub[pinned] = np.round(best.x[pinned])
+        sub = MIPProblem(
+            c=problem.c, integer=problem.integer,
+            a_ub=problem.a_ub, b_ub=problem.b_ub,
+            a_eq=problem.a_eq, b_eq=problem.b_eq,
+            lb=lb, ub=ub, name=f"{problem.name}-lns{round_i}",
+        )
+        solver = BranchAndBoundSolver(
+            sub,
+            SolverOptions(
+                node_limit=options.lns_node_limit,
+                warm_start=True,
+            ),
+        )
+        result = solver.solve()
+        rounds += 1
+        lp_iters += result.stats.lp_iterations
+        sf = sub.relaxation().to_standard_form()
+        _charge_lp_stream(device, sf.m, sf.n, result.stats.lp_iterations)
+        if result.x is not None:
+            collector.offer(
+                np.clip(result.x, problem.lb, problem.ub), "lns", round_i
+            )
+    return rounds, lp_iters
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def run_portfolio(
+    problem: MIPProblem,
+    options: Optional[PortfolioOptions] = None,
+    device: Optional[Device] = None,
+) -> PortfolioResult:
+    """Run the full heuristic portfolio on one MIP.
+
+    Phases run in a fixed order (feasibility jump → fix-and-propagate →
+    LNS) sharing one root-relaxation solve; the result's ``dual_bound``
+    is that relaxation's objective, so ``result.gap`` is a *certified*
+    optimality gap whenever ``options.certify`` is on (every incumbent
+    passed the exact-rational feasibility certificate, and the LP bound
+    is a true dual bound for the maximization MIP).
+    """
+    options = options or PortfolioOptions()
+    t0 = device.clock.now if device is not None else 0.0
+    with obs.span(
+        "mip.portfolio", category="mip",
+        n=problem.n, integers=problem.num_integer, restarts=options.restarts,
+    ) as sp:
+        prep = _prepare(problem, device)
+        collector = _Collector(problem, options, device)
+        stats: Dict[str, int] = {
+            "restarts": 0, "fj_sweeps": 0, "fnp_rounds": 0,
+            "lns_rounds": 0, "rejected": 0,
+        }
+        lp_iters = prep.lp_iterations
+
+        if prep.idx.size == 0:
+            # Pure-LP "MIP": the relaxation point is the candidate.
+            if prep.x_lp is not None:
+                collector.offer(prep.x_lp, "fix_propagate", 0)
+        elif prep.relaxation_status != "infeasible":
+            if options.feasibility_jump:
+                sweeps, it = _feasibility_jump(
+                    problem, options, prep, collector, device
+                )
+                stats["restarts"] = options.restarts
+                stats["fj_sweeps"] = sweeps
+                lp_iters += it
+            if options.fix_propagate:
+                rounds, it = _fix_and_propagate(
+                    problem, options, prep, collector, device
+                )
+                stats["fnp_rounds"] = rounds
+                lp_iters += it
+            if options.lns:
+                rounds, it = _lns(problem, options, prep, collector, device)
+                stats["lns_rounds"] = rounds
+                lp_iters += it
+
+        stats["rejected"] = collector.rejected
+        best = collector.best()
+        sp.set(
+            incumbents=len(collector.incumbents),
+            best=best.objective if best is not None else None,
+        )
+        return PortfolioResult(
+            incumbents=collector.incumbents,
+            best=best,
+            dual_bound=prep.dual_bound,
+            relaxation_status=prep.relaxation_status,
+            stats=stats,
+            lp_iterations=lp_iters,
+            elapsed_seconds=(device.clock.now - t0) if device is not None else 0.0,
+            first_incumbent_seconds=collector.first_seconds,
+        )

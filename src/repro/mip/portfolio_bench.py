@@ -1,0 +1,271 @@
+"""E16 — time-to-first-incumbent: the heuristic portfolio vs pure B&B.
+
+The portfolio (:mod:`repro.mip.portfolio`) exists to replace in-tree
+primal heuristics with a massively parallel device phase, so the honest
+baseline is **pure branch and bound** — ``use_rounding_heuristic=False``,
+branching alone, the first incumbent being the first integral leaf the
+tree reaches.  Against that baseline the benchmark measures, in
+simulated device seconds:
+
+1. **Time to first incumbent.**  The corpus is pinned to the regime
+   primal-heuristic portfolios are built for: instances whose pure-B&B
+   first incumbent lands hundreds of nodes deep (strong-correlation
+   knapsacks and a dense random MIP).  The headline gate is the
+   geometric-mean speedup of the portfolio's first certified incumbent
+   over the pure-B&B first incumbent (≥ 5x is the repeatable-result
+   gate; the pinned corpus lands well above it).
+
+2. **Gap at handover.**  The certified relative gap the portfolio holds
+   when ``heuristic_first`` hands its incumbent to branch and bound —
+   the quality end of the quality-vs-latency trade.
+
+3. **Robustness rows.**  The MIP members of the pathological corpus run
+   through ``heuristic_only``; they must come back as a certified answer
+   or a clean ``no_incumbent`` — never a crash.
+
+Every gated number is cross-validated before it is believed: the
+portfolio incumbent is re-checked against the exact-rational feasibility
+certificate, the ``heuristic_first`` run must seed branch and bound
+before node one (``first_incumbent_nodes == 0``), and when both sides
+finish exactly their objectives must agree.
+
+The payload follows the :mod:`repro.obs.bench` schema; experiment E16's
+artifact is ``BENCH_portfolio.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.check import certify_mip_solution
+from repro.device.gpu import Device
+from repro.device.spec import V100
+from repro.errors import ReproError
+from repro.mip.portfolio import PortfolioOptions, run_portfolio
+from repro.mip.problem import MIPProblem
+from repro.mip.solver import SolverOptions
+from repro.obs.bench import bench_payload
+from repro.problems.knapsack import generate_knapsack
+from repro.problems.random_mip import generate_random_mip
+
+
+def default_corpus() -> List[Tuple[MIPProblem, bool]]:
+    """The E16 corpus: ``(problem, gated)`` pairs.
+
+    Gated instances are pinned to the late-first-incumbent regime —
+    pure B&B needs hundreds of nodes before its first integral leaf,
+    which is precisely when a parallel primal phase pays for itself.
+    The ungated rows keep the easy regime visible (where branching
+    finds an incumbent almost immediately and the portfolio merely has
+    to not be embarrassing) without letting it wash out the gate.
+    """
+    corpus: List[Tuple[MIPProblem, bool]] = []
+    for n, seed in ((36, 2), (40, 3), (40, 5)):
+        problem = generate_knapsack(n, seed=seed, correlation="strong")
+        problem.name = f"knap-strong-{n}-s{seed}"
+        corpus.append((problem, True))
+    rand = generate_random_mip(16, 10, seed=4, integer_fraction=1.0)
+    rand.name = "rand-16x10-s4"
+    corpus.append((rand, True))
+    easy = generate_knapsack(30, seed=2, correlation="strong")
+    easy.name = "knap-strong-30-s2"
+    corpus.append((easy, False))
+    return corpus
+
+
+def _pathological_mips() -> List[MIPProblem]:
+    """MIP members of the pinned pathological corpus (robustness rows)."""
+    from repro.problems.pathological import case_by_name
+
+    problems = []
+    for name in ("mip-wide-range", "mip-deadline"):
+        problem = case_by_name(name).build()
+        problem.name = name
+        problems.append(problem)
+    return problems
+
+
+def _first_incumbent_row(
+    problem: MIPProblem,
+    gated: bool,
+    node_limit: int,
+    portfolio: PortfolioOptions,
+) -> Dict[str, object]:
+    """One corpus instance: pure B&B vs portfolio, cross-validated."""
+    from repro.api import SolveOptions, solve
+
+    exact = solve(
+        problem,
+        SolveOptions(
+            strategy="hybrid",
+            solver=SolverOptions(
+                node_limit=node_limit, use_rounding_heuristic=False
+            ),
+        ),
+    )
+    stats = exact.result.stats
+    exact_first = stats.first_incumbent_seconds
+
+    # The portfolio phase on its own device: same options heuristic_first
+    # injects, so the incumbent trail is identical by the determinism
+    # contract (tests/mip/test_portfolio.py pins it).
+    device = Device(V100)
+    phase = run_portfolio(problem, portfolio, device=device)
+    if phase.best is not None:
+        cert = certify_mip_solution(
+            problem, phase.best.x, objective=phase.best.objective
+        )
+        if not cert.ok:
+            raise ReproError(
+                f"E16 cross-validation: {problem.name} portfolio incumbent "
+                f"failed the exact certificate: {cert.reason}"
+            )
+
+    hf = solve(
+        problem,
+        SolveOptions(
+            strategy="portfolio",
+            mode="heuristic_first",
+            solver=SolverOptions(node_limit=node_limit),
+        ),
+    )
+    if phase.best is not None:
+        if hf.result.stats.first_incumbent_nodes != 0:
+            raise ReproError(
+                f"E16 cross-validation: {problem.name} heuristic_first "
+                "did not seed branch and bound before node one"
+            )
+        if hf.result.stats.portfolio_incumbents < 1:
+            raise ReproError(
+                f"E16 cross-validation: {problem.name} heuristic_first "
+                "reported no portfolio incumbents"
+            )
+    if exact.status == "optimal" and hf.status == "optimal":
+        scale = 1.0 + max(abs(exact.objective), abs(hf.objective))
+        if abs(exact.objective - hf.objective) > 1e-6 * scale:
+            raise ReproError(
+                f"E16 cross-validation: {problem.name} objectives differ "
+                f"(exact {exact.objective!r} vs heuristic_first "
+                f"{hf.objective!r})"
+            )
+
+    portfolio_first = phase.first_incumbent_seconds
+    speedup = None
+    if np.isfinite(exact_first) and np.isfinite(portfolio_first):
+        speedup = round(float(exact_first) / float(portfolio_first), 4)
+    finite = lambda v: float(v) if np.isfinite(v) else None
+    return {
+        "instance": problem.name,
+        "variables": problem.n,
+        "gated": gated,
+        "exact_status": exact.status,
+        "exact_nodes": stats.nodes_processed,
+        "exact_first_incumbent_node": stats.first_incumbent_nodes,
+        "exact_first_incumbent_seconds": finite(exact_first),
+        "portfolio_first_incumbent_seconds": finite(portfolio_first),
+        "portfolio_incumbents": len(phase.incumbents),
+        "portfolio_best_heuristic": (
+            None if phase.best is None else phase.best.heuristic
+        ),
+        "gap_at_handover": finite(phase.gap),
+        "heuristic_first_status": hf.status,
+        "heuristic_first_nodes": hf.result.stats.nodes_processed,
+        "speedup": speedup,
+        "certified": phase.best is not None,
+    }
+
+
+def _robustness_row(problem: MIPProblem) -> Dict[str, object]:
+    """A pathological MIP through ``heuristic_only``: answer or clean miss."""
+    from repro.api import SolveOptions, solve
+
+    report = solve(problem, SolveOptions(mode="heuristic_only"))
+    if report.status not in ("heuristic", "no_incumbent", "infeasible"):
+        raise ReproError(
+            f"E16 robustness: {problem.name} heuristic_only returned "
+            f"unexpected status {report.status!r}"
+        )
+    if report.status == "heuristic":
+        cert = certify_mip_solution(problem, report.x, objective=report.objective)
+        if not cert.ok:
+            raise ReproError(
+                f"E16 robustness: {problem.name} heuristic answer failed "
+                f"the exact certificate: {cert.reason}"
+            )
+    finite = lambda v: float(v) if v is not None and np.isfinite(v) else None
+    return {
+        "instance": problem.name,
+        "variables": problem.n,
+        "gated": False,
+        "robustness": True,
+        "heuristic_status": report.status,
+        "objective": finite(report.objective),
+        "dual_bound": finite(report.best_bound),
+        "gap_at_handover": finite(report.gap),
+        "certified": report.status == "heuristic",
+    }
+
+
+def portfolio_bench_payload(
+    corpus: Optional[Sequence[Tuple[MIPProblem, bool]]] = None,
+    node_limit: int = 2000,
+    portfolio: Optional[PortfolioOptions] = None,
+    include_pathological: bool = True,
+) -> Dict[str, object]:
+    """Assemble the E16 artifact payload (schema of :mod:`repro.obs.bench`).
+
+    ``rows`` carries one first-incumbent row per corpus instance plus
+    one robustness row per pathological MIP; ``summary`` holds the
+    headline geometric-mean speedup over the gated instances, the
+    worst gated speedup, and the worst certified gap at handover.
+    """
+    if corpus is None:
+        corpus = default_corpus()
+    if portfolio is None:
+        portfolio = PortfolioOptions()
+
+    rows = [
+        _first_incumbent_row(problem, gated, node_limit, portfolio)
+        for problem, gated in corpus
+    ]
+    if include_pathological:
+        rows.extend(_robustness_row(p) for p in _pathological_mips())
+
+    gated_speedups = [
+        r["speedup"] for r in rows if r.get("gated") and r["speedup"] is not None
+    ]
+    if not gated_speedups:
+        raise ReproError(
+            "E16: no gated instance produced a finite first-incumbent "
+            "speedup — both sides must find an incumbent"
+        )
+    geomean = float(np.exp(np.mean(np.log(gated_speedups))))
+    gaps = [
+        r["gap_at_handover"]
+        for r in rows
+        if r.get("certified") and r["gap_at_handover"] is not None
+    ]
+    summary = {
+        "instances": len(rows),
+        "gated_instances": len(gated_speedups),
+        "geomean_speedup": round(geomean, 4),
+        "min_gated_speedup": round(min(gated_speedups), 4),
+        "max_gap_at_handover": round(max(gaps), 6) if gaps else None,
+        "all_certified": all(
+            r["certified"] for r in rows if not r.get("robustness")
+        ),
+    }
+    return bench_payload(
+        "e16_portfolio",
+        rows=rows,
+        params={
+            "node_limit": node_limit,
+            "baseline": "pure branch and bound (use_rounding_heuristic=False)",
+            "restarts": portfolio.restarts,
+            "n_jobs": portfolio.n_jobs,
+            "seed": portfolio.seed,
+        },
+        summary=summary,
+    )

@@ -67,6 +67,18 @@ class MIPStats:
     warm_factor_reuses: int = 0
     #: Warm answers discarded by the from-scratch KKT audit (cold re-run).
     warm_audit_failures: int = 0
+    #: Feasibility-jump restarts launched by the portfolio phase.
+    portfolio_restarts: int = 0
+    #: Masked lockstep sweeps executed by the portfolio phase.
+    portfolio_sweeps: int = 0
+    #: Certified incumbents the portfolio phase produced.
+    portfolio_incumbents: int = 0
+    #: Simulated device seconds the portfolio phase charged.
+    portfolio_seconds: float = 0.0
+    #: Nodes processed when the first incumbent landed (-1 = never).
+    first_incumbent_nodes: int = -1
+    #: Engine-simulated seconds at the first incumbent (NaN = never).
+    first_incumbent_seconds: float = float("nan")
 
 
 @dataclass

@@ -45,8 +45,13 @@ from repro.mip.cuts.cover import cover_cuts
 from repro.mip.cuts.gomory import gomory_mixed_integer_cuts
 from repro.mip.cuts.mir import mir_cuts
 from repro.mip.cuts.pool import CutPool
-from repro.mip.heuristics import rounding_heuristic
 from repro.mip.node_selection import make_selector
+from repro.mip.portfolio import (
+    PortfolioOptions,
+    PortfolioResult,
+    round_to_feasible,
+    run_portfolio,
+)
 from repro.mip.problem import MIPProblem
 from repro.mip.result import MIPResult, MIPStats, MIPStatus
 from repro.mip.tree import BBTree, BoundChange, NodeTag
@@ -284,6 +289,10 @@ class SolverOptions:
     #: Sink for captured :class:`repro.mip.snapshot.SearchSnapshot`\ s;
     #: a crash-recovery driver resumes from the latest one delivered.
     checkpoint_fn: Optional[Callable] = None
+    #: Run the batched primal-heuristic portfolio
+    #: (:mod:`repro.mip.portfolio`) before the tree search; its best
+    #: certified incumbent seeds the pruning bound (None disables).
+    portfolio: Optional[PortfolioOptions] = None
 
     def __post_init__(self):
         if self.node_limit <= 0:
@@ -330,6 +339,8 @@ class BranchAndBoundSolver:
         #: Bounded per-node warm states (basis + resident factorization);
         #: an evicted entry falls back to the node's bare ``warm_basis``.
         self._warm_states = WarmStateCache(capacity=64)
+        #: Result of the pre-search portfolio phase (None = not run).
+        self.portfolio_result: Optional[PortfolioResult] = None
 
     def solve(self) -> MIPResult:
         """Run the search to optimality, infeasibility, or the node limit."""
@@ -375,6 +386,32 @@ class BranchAndBoundSolver:
         sf_root = tree.node_problem(0).to_standard_form()
         self.engine.begin_search(problem, sf_root)
         matrix_bytes = sf_root.a.size * 8
+
+        # Portfolio phase: batched primal heuristics seed the incumbent
+        # (and therefore the pruning bound) before the first node.
+        if options.portfolio is not None:
+            pr = run_portfolio(
+                problem,
+                options.portfolio,
+                device=getattr(self.engine, "device", None),
+            )
+            self.portfolio_result = pr
+            self.stats.portfolio_restarts = pr.stats.get("restarts", 0)
+            self.stats.portfolio_sweeps = pr.stats.get("fj_sweeps", 0)
+            self.stats.portfolio_incumbents = len(pr.incumbents)
+            self.stats.portfolio_seconds = pr.elapsed_seconds
+            self.stats.lp_iterations += pr.lp_iterations
+            if pr.best is not None:
+                incumbent_obj, incumbent_x = pr.best.objective, pr.best.x.copy()
+                record_solution(incumbent_obj, incumbent_x)
+                self.stats.heuristic_solutions += 1
+                self._note_first_incumbent()
+                self.stats.incumbent_history.append((0, incumbent_obj))
+                obs.event(
+                    "mip.incumbent", category="mip",
+                    objective=incumbent_obj, heuristic=True,
+                    source="portfolio",
+                )
 
         tree.root.inherited_bound = np.inf
         selector.push(0, np.inf)
@@ -514,6 +551,7 @@ class BranchAndBoundSolver:
                 record_solution(obj, x)
                 if obj > incumbent_obj:
                     incumbent_obj, incumbent_x = obj, x
+                    self._note_first_incumbent()
                     obs.event("mip.incumbent", category="mip", objective=obj)
                     self.stats.incumbent_history.append(
                         (self.stats.nodes_processed, obj)
@@ -522,12 +560,13 @@ class BranchAndBoundSolver:
 
             # Primal heuristic: try rounding the fractional point.
             if options.use_rounding_heuristic:
-                candidate = rounding_heuristic(problem, x)
+                candidate = round_to_feasible(problem, x)
                 if candidate is not None:
                     obj = problem.objective(candidate)
                     record_solution(obj, candidate)
                     if obj > incumbent_obj:
                         incumbent_obj, incumbent_x = obj, candidate
+                        self._note_first_incumbent()
                         self.stats.heuristic_solutions += 1
                         obs.event(
                             "mip.incumbent", category="mip",
@@ -649,6 +688,12 @@ class BranchAndBoundSolver:
             self.stats.escalations += 1
             self.stats.lp_iterations += outcome.result.iterations
         return outcome.result
+
+    def _note_first_incumbent(self) -> None:
+        """Stamp node/engine-time coordinates of the first incumbent."""
+        if self.stats.first_incumbent_nodes < 0:
+            self.stats.first_incumbent_nodes = self.stats.nodes_processed
+            self.stats.first_incumbent_seconds = self.engine.elapsed_seconds
 
     def _dominated(self, bound: float, incumbent: float) -> bool:
         """True when a node bound cannot beat the incumbent."""

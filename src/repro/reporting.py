@@ -7,11 +7,76 @@ and the bench output share one format.  No plotting dependencies — the
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 Number = Union[int, float]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Keys every report dict carries, in canonical order.  The optional
+#: solver sections (``nodes``, ``lp_iterations``, ``makespan_seconds``,
+#: ``metrics``) and surface-specific extras follow when supplied.
+CORE_REPORT_KEYS = ("status", "objective", "mode", "strategy", "trace_id", "bounds")
+
+
+def _clean_number(value) -> Optional[float]:
+    """NaN/±inf/None → None; everything else → float."""
+    if value is None:
+        return None
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        return None
+    return value
+
+
+def report_dict(
+    *,
+    status: str,
+    objective,
+    strategy: Optional[str],
+    mode: str = "exact",
+    trace_id: str = "",
+    best_bound=None,
+    gap=None,
+    nodes: Optional[int] = None,
+    lp_iterations: Optional[int] = None,
+    makespan_seconds: Optional[float] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    **extra,
+) -> Dict[str, Any]:
+    """The one JSON-friendly report shape shared by every solve surface.
+
+    :meth:`repro.api.SolveReport.to_dict`,
+    :meth:`repro.strategies.engine.StrategyReport.to_dict`, and
+    :meth:`repro.serve.SolveResponse.to_dict` all delegate here, so a
+    dashboard reading one of them reads all three.  Non-finite numbers
+    export as ``None``; the core keys (:data:`CORE_REPORT_KEYS` plus the
+    ``bounds`` sub-keys) are always present, optional solver sections
+    appear only when the surface supplies them, and keyword extras land
+    after them in the order given.
+    """
+    out: Dict[str, Any] = {
+        "status": status,
+        "objective": _clean_number(objective),
+        "mode": mode,
+        "strategy": strategy,
+        "trace_id": trace_id,
+        "bounds": {
+            "best_bound": _clean_number(best_bound),
+            "gap": _clean_number(gap),
+        },
+    }
+    if nodes is not None:
+        out["nodes"] = nodes
+    if lp_iterations is not None:
+        out["lp_iterations"] = lp_iterations
+    if makespan_seconds is not None:
+        out["makespan_seconds"] = makespan_seconds
+    if metrics is not None:
+        out["metrics"] = metrics
+    out.update(extra)
+    return out
 
 
 def format_value(value) -> str:

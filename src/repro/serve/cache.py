@@ -38,6 +38,12 @@ class CacheEntry:
     x: Optional[np.ndarray]
     #: Simulated time the producing solve completed.
     ready_time: float
+    #: Certified dual bound (heuristic answers replay their gap).
+    best_bound: float = float("inf")
+    #: Relative optimality gap at completion.
+    gap: float = float("inf")
+    #: Solve mode that produced this entry (see :mod:`repro.api`).
+    mode: str = "exact"
 
 
 class ResultCache:

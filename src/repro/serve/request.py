@@ -28,6 +28,10 @@ from repro.mip.problem import MIPProblem
 
 Problem = Union[LinearProgram, MIPProblem]
 
+#: Accepted ``SolveRequest.mode`` values (string forms of
+#: :class:`repro.api.SolveMode`; non-exact modes apply to MIPs only).
+VALID_MODES = ("exact", "heuristic_first", "heuristic_only")
+
 
 def _feed(digest, tag: str, arr: Optional[np.ndarray]) -> None:
     if arr is None:
@@ -78,6 +82,14 @@ class SolveRequest:
     #: unlimited).  A mid-solve expiry yields ``Outcome.PARTIAL`` with
     #: the anytime incumbent, dual bound, and gap — never a hang.
     solve_deadline: Optional[float] = None
+    #: Quality-vs-latency contract (see :class:`repro.api.SolveMode`):
+    #: ``"exact"``, ``"heuristic_first"``, or ``"heuristic_only"``.
+    #: Non-exact modes are MIP-only and are served on a separate cache /
+    #: coalescing channel — a heuristic answer never masquerades as an
+    #: exact one.
+    mode: str = "exact"
+    #: Relative-gap goal threaded into non-exact solves.
+    gap_target: Optional[float] = None
     #: Assigned by the service at admission.
     request_id: int = -1
     #: Canonical content hash; computed by the service at admission.
@@ -89,6 +101,21 @@ class SolveRequest:
     def kind(self) -> str:
         """``"mip"`` or ``"lp"``."""
         return "mip" if isinstance(self.problem, MIPProblem) else "lp"
+
+    @property
+    def cache_key(self) -> str:
+        """Cache/coalescing channel key.
+
+        Exact requests use the bare fingerprint (the historical key);
+        non-exact requests get a distinct ``#h:`` channel that also
+        encodes the gap target, so a ``heuristic_only`` answer can never
+        be served from — or written into — the exact result cache, and
+        requests with different quality goals never coalesce.
+        """
+        if self.mode == "exact":
+            return self.fingerprint
+        gap = "" if self.gap_target is None else f"{self.gap_target:.12g}"
+        return f"{self.fingerprint}#h:{self.mode}:{gap}"
 
     @property
     def deadline(self) -> float:
@@ -117,8 +144,10 @@ class SolveResponse:
     #: Certified dual bound (== objective when optimal; finite on PARTIAL).
     best_bound: float = float("inf")
     #: Relative optimality gap (0 when optimal; finite on PARTIAL with
-    #: an incumbent).
+    #: an incumbent, and on certified heuristic answers).
     gap: float = float("inf")
+    #: Solve mode this response was produced under (see the request).
+    mode: str = "exact"
     arrival_time: float = 0.0
     dispatch_time: float = 0.0
     start_time: float = 0.0
@@ -169,32 +198,37 @@ class SolveResponse:
         return self.completion_time - self.arrival_time
 
     def to_dict(self) -> dict:
-        """Report-shaped summary (see :func:`repro.api.solve`'s report)."""
-        return {
-            "status": self.solver_status or self.outcome.value,
-            "objective": None if np.isnan(self.objective) else float(self.objective),
-            "outcome": self.outcome.value,
-            "request_id": self.request_id,
-            "trace_id": self.trace_id,
-            "bounds": {
-                "best_bound": (
-                    None if not np.isfinite(self.best_bound) else float(self.best_bound)
-                ),
-                "gap": None if not np.isfinite(self.gap) else float(self.gap),
-            },
-            "cached": self.cached,
-            "coalesced": self.coalesced,
-            "warm": self.warm,
-            "batch_size": self.batch_size,
-            "worker": self.worker,
-            "retries": self.retries,
-            "timings": {
+        """JSON-friendly summary (:func:`repro.reporting.report_dict` shape).
+
+        The serving surface has no strategy of its own (the worker pool
+        picks the execution path), so ``strategy`` is ``None``; the
+        serving-specific fields follow the shared core.
+        """
+        from repro.reporting import report_dict
+
+        return report_dict(
+            status=self.solver_status or self.outcome.value,
+            objective=self.objective,
+            strategy=None,
+            mode=self.mode,
+            trace_id=self.trace_id,
+            best_bound=self.best_bound,
+            gap=self.gap,
+            outcome=self.outcome.value,
+            request_id=self.request_id,
+            cached=self.cached,
+            coalesced=self.coalesced,
+            warm=self.warm,
+            batch_size=self.batch_size,
+            worker=self.worker,
+            retries=self.retries,
+            timings={
                 "queue_wait": self.queue_wait,
                 "assembly_wait": self.assembly_wait,
                 "device_time": self.device_time,
                 "latency": self.latency,
             },
-        }
+        )
 
     def raise_for_outcome(self) -> None:
         """Raise the typed error matching a non-OK outcome.

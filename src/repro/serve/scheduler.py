@@ -183,6 +183,7 @@ class WorkerPool:
                     x=x,
                     best_bound=bound,
                     gap=gap,
+                    mode=req.mode,
                     lp_result=lp_result,
                     arrival_time=req.arrival_time,
                     dispatch_time=when,
@@ -320,7 +321,9 @@ class WorkerPool:
         device seconds exceed ``solve_deadline``.
         """
         if isinstance(req.problem, MIPProblem):
-            run = lambda: self._solve_mip(req.problem, scratch)
+            run = lambda: self._solve_mip(
+                req.problem, scratch, mode=req.mode, gap_target=req.gap_target
+            )
         else:
             run = lambda: self._solve_solo_lp(req.problem, scratch)
         if req.solve_deadline is None:
@@ -340,20 +343,41 @@ class WorkerPool:
             self.metrics.inc("serve.deadline_hits")
         return result
 
-    def _solve_mip(self, problem: MIPProblem, scratch: Device):
+    def _solve_mip(
+        self,
+        problem: MIPProblem,
+        scratch: Device,
+        mode: str = "exact",
+        gap_target: Optional[float] = None,
+    ):
         from repro.api import SolveOptions, solve
 
         report = solve(
             problem,
-            SolveOptions(device=scratch, mip_node_batch=self.mip_node_batch),
+            SolveOptions(
+                device=scratch,
+                mip_node_batch=self.mip_node_batch,
+                mode=mode,
+                gap_target=gap_target,
+            ),
         )
-        status = report.result.status if report.result is not None else None
-        if status in _TERMINAL_MIP:
-            outcome = Outcome.OK
-        elif status is not None and status.anytime:
-            outcome = Outcome.PARTIAL
+        if report.result is None:
+            # heuristic_only: no tree search ran.  A certified incumbent
+            # (or a root-relaxation infeasibility proof) is the answer
+            # the client asked for; an empty portfolio is a failure.
+            outcome = (
+                Outcome.OK
+                if report.status in ("heuristic", "infeasible")
+                else Outcome.FAILED
+            )
         else:
-            outcome = Outcome.FAILED
+            status = report.result.status
+            if status in _TERMINAL_MIP:
+                outcome = Outcome.OK
+            elif status.anytime:
+                outcome = Outcome.PARTIAL
+            else:
+                outcome = Outcome.FAILED
         return (
             outcome, report.status, report.objective, report.x,
             report.best_bound, report.gap, None,

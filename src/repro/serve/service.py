@@ -36,6 +36,7 @@ from repro.lp.problem import LinearProgram
 from repro.serve.cache import CACHE_LOOKUP_SECONDS, CacheEntry, ResultCache
 from repro.serve.parametric import ParametricCache
 from repro.serve.request import (
+    VALID_MODES,
     Outcome,
     Problem,
     SolveRequest,
@@ -61,6 +62,10 @@ class SolveService:
         self.metrics = metrics if metrics is not None else Metrics()
         self.pool = WorkerPool(num_workers, spec=spec, metrics=self.metrics)
         self.cache = ResultCache(cache_capacity)
+        #: Heuristic-mode answers live in their own cache: a certified
+        #: incumbent with a gap must never be replayed as an exact
+        #: optimum (and vice versa the exact cache stays heuristic-free).
+        self.heuristic_cache = ResultCache(cache_capacity)
         #: Near-duplicate LP answering (0 capacity disables it).
         self.parametric = ParametricCache(parametric_capacity)
         self.queue = BatchQueue(self.policy)
@@ -69,7 +74,8 @@ class SolveService:
         self.closed = False
         self._next_id = 0
         self._responses: Dict[int, SolveResponse] = {}
-        #: fingerprint → queued primary request (coalescing target).
+        #: cache key (fingerprint + mode channel) → queued primary
+        #: request (coalescing target).
         self._primaries: Dict[str, SolveRequest] = {}
         #: primary request id → coalesced follower requests.
         self._followers: Dict[int, List[SolveRequest]] = {}
@@ -82,8 +88,15 @@ class SolveService:
         at: Optional[float] = None,
         timeout: Optional[float] = None,
         solve_deadline: Optional[float] = None,
+        mode: str = "exact",
+        gap_target: Optional[float] = None,
     ) -> int:
         """Admit one request arriving at simulated time ``at``.
+
+        ``mode`` selects the quality-vs-latency contract (a
+        :class:`repro.api.SolveMode` or its string value; non-exact
+        modes are MIP-only).  ``gap_target`` is the relative-gap goal
+        threaded into non-exact solves.
 
         Returns the assigned request id.  Raises
         :class:`repro.errors.ServiceClosed` after :meth:`close` and
@@ -92,6 +105,16 @@ class SolveService:
         """
         if self.closed:
             raise ServiceClosed("submit() on a closed service")
+        mode = getattr(mode, "value", mode)
+        if mode not in VALID_MODES:
+            raise ServiceError(
+                f"unknown solve mode {mode!r}; valid modes are "
+                + ", ".join(repr(m) for m in VALID_MODES)
+            )
+        if mode != "exact" and isinstance(problem, LinearProgram):
+            raise ServiceError(
+                f"mode={mode!r} applies to MIPs only; LPs always solve exactly"
+            )
         at = self.now if at is None else float(at)
         if at < self.now:
             raise ServiceError(
@@ -108,23 +131,42 @@ class SolveService:
             arrival_time=at,
             timeout=timeout,
             solve_deadline=solve_deadline,
+            mode=mode,
+            gap_target=gap_target,
             request_id=rid,
             fingerprint=fp,
             trace_id=f"req-{rid:06d}",
         )
         self.metrics.inc("serve.requests")
 
-        # 1. Coalesce onto an identical queued request.
-        primary = self._primaries.get(fp)
+        # 1. Coalesce onto an identical queued request — same problem
+        # *and* same mode channel only (an exact request must not ride
+        # on a heuristic primary or vice versa).
+        primary = self._primaries.get(request.cache_key)
         if primary is not None:
             self._followers[primary.request_id].append(request)
             self.metrics.inc("serve.coalesced")
             return rid
 
-        # 2. Result cache.
-        entry = self.cache.get(fp)
+        # 2. Result cache.  Non-exact requests resolve on the heuristic
+        # channel; heuristic_first may also settle for an exact answer
+        # (strictly better than what it asked for), but heuristic_only
+        # traffic never reads the exact cache and never writes it.
+        entry = None
+        if mode == "exact":
+            entry = self.cache.get(fp)
+            if entry is not None:
+                self.metrics.inc("serve.cache.hits")
+        else:
+            if mode == "heuristic_first":
+                entry = self.cache.get(fp)
+                if entry is not None:
+                    self.metrics.inc("serve.cache.hits")
+            if entry is None:
+                entry = self.heuristic_cache.get(request.cache_key)
+                if entry is not None:
+                    self.metrics.inc("serve.heuristic_hit")
         if entry is not None:
-            self.metrics.inc("serve.cache.hits")
             done = max(at, entry.ready_time) + CACHE_LOOKUP_SECONDS
             self._record(
                 SolveResponse(
@@ -134,6 +176,9 @@ class SolveService:
                     solver_status=entry.solver_status,
                     objective=entry.objective,
                     x=entry.x,
+                    best_bound=entry.best_bound,
+                    gap=entry.gap,
+                    mode=entry.mode,
                     arrival_time=at,
                     dispatch_time=at,
                     start_time=at,
@@ -192,7 +237,7 @@ class SolveService:
 
         # 4. Enqueue; flush immediately if the bucket filled up.
         key = self.queue.push(request)
-        self._primaries[fp] = request
+        self._primaries[request.cache_key] = request
         self._followers[rid] = []
         self.metrics.inc("serve.admitted")
         if self.queue.bucket_len(key) >= self.policy.max_batch_size:
@@ -246,6 +291,7 @@ class SolveService:
         )
         out["derived"] = {
             "cache_hit_rate": self.cache.hit_rate,
+            "heuristic_hit_rate": self.heuristic_cache.hit_rate,
             "dedup_rate": deduped / requests if requests else 0.0,
             "makespan": self.makespan,
             "parametric": {
@@ -286,7 +332,7 @@ class SolveService:
         """Time out one queued request (followers share its fate)."""
         self.queue.remove(request)
         followers = self._followers.pop(request.request_id, [])
-        self._primaries.pop(request.fingerprint, None)
+        self._primaries.pop(request.cache_key, None)
         for req in [request] + followers:
             self.metrics.inc("serve.timeouts")
             self._record(
@@ -366,18 +412,24 @@ class SolveService:
 
     def _finish(self, request: SolveRequest, response: SolveResponse) -> None:
         """Record one dispatched member's response (and its followers')."""
-        self._primaries.pop(request.fingerprint, None)
+        self._primaries.pop(request.cache_key, None)
         if response.ok:
-            self.cache.put(
-                request.fingerprint,
-                CacheEntry(
-                    outcome=response.outcome,
-                    solver_status=response.solver_status,
-                    objective=response.objective,
-                    x=response.x,
-                    ready_time=response.completion_time,
-                ),
+            entry = CacheEntry(
+                outcome=response.outcome,
+                solver_status=response.solver_status,
+                objective=response.objective,
+                x=response.x,
+                ready_time=response.completion_time,
+                best_bound=response.best_bound,
+                gap=response.gap,
+                mode=response.mode,
             )
+            if request.mode == "exact":
+                self.cache.put(request.fingerprint, entry)
+            else:
+                # Heuristic answers replay only on their own channel:
+                # the exact result cache never sees them.
+                self.heuristic_cache.put(request.cache_key, entry)
             if response.lp_result is not None and isinstance(
                 request.problem, LinearProgram
             ):
@@ -396,6 +448,7 @@ class SolveService:
                 x=response.x,
                 best_bound=response.best_bound,
                 gap=response.gap,
+                mode=response.mode,
                 arrival_time=follower.arrival_time,
                 dispatch_time=response.dispatch_time,
                 start_time=response.start_time,

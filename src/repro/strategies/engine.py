@@ -121,26 +121,21 @@ class StrategyReport:
     trace_id: str = ""
 
     def to_dict(self) -> dict:
-        """JSON-friendly summary (same shape as ``SolveReport.to_dict``)."""
+        """JSON-friendly summary (:func:`repro.reporting.report_dict` shape)."""
+        from repro.reporting import report_dict
+
         result = self.result
-        objective = float(result.objective)
-        return {
-            "status": result.status.value,
-            "objective": None if np.isnan(objective) else objective,
-            "strategy": self.strategy,
-            "trace_id": self.trace_id,
-            "bounds": {
-                "best_bound": (
-                    float(result.best_bound)
-                    if np.isfinite(result.best_bound)
-                    else None
-                ),
-                "gap": float(result.gap) if np.isfinite(result.gap) else None,
-            },
-            "nodes": result.stats.nodes_processed,
-            "lp_iterations": result.stats.lp_iterations,
-            "makespan_seconds": self.makespan_seconds,
-            "metrics": {
+        return report_dict(
+            status=result.status.value,
+            objective=result.objective,
+            strategy=self.strategy,
+            trace_id=self.trace_id,
+            best_bound=result.best_bound,
+            gap=result.gap,
+            nodes=result.stats.nodes_processed,
+            lp_iterations=result.stats.lp_iterations,
+            makespan_seconds=self.makespan_seconds,
+            metrics={
                 "kernels": self.kernels,
                 "h2d_transfers": self.h2d_transfers,
                 "d2h_transfers": self.d2h_transfers,
@@ -148,7 +143,7 @@ class StrategyReport:
                 "mem_peak_bytes": self.mem_peak_bytes,
                 "energy_joules": self.energy_joules,
             },
-        }
+        )
 
 
 class MeteredEngine(ExecutionEngine):

@@ -1,0 +1,30 @@
+"""Strategy: hybrid execution fronted by the primal-heuristic portfolio.
+
+The paper's §3.3 hybrid design assigns "advanced heuristics" to the
+host cores while the GPU carries the linear algebra.  This strategy
+takes that assignment to its batched conclusion: before branch and
+bound opens the tree, the massively parallel portfolio
+(:mod:`repro.mip.portfolio` — seeded feasibility-jump restarts in
+lockstep, batched fix-and-propagate, LNS re-solves) sweeps for
+certified incumbents on the metered device, and the best one enters the
+search as a pruning bound.
+
+The engine itself is the hybrid CPU+GPU engine; the portfolio phase is
+injected by :func:`repro.api.solve` whenever ``wants_portfolio`` is
+set and the caller didn't pin a :class:`repro.mip.portfolio.PortfolioOptions`
+of their own.  Degradation chains to ``"hybrid"`` (same LP routing,
+no heuristic phase).
+"""
+
+from __future__ import annotations
+
+from repro.strategies.hybrid import HybridEngine
+
+
+class PortfolioEngine(HybridEngine):
+    """Hybrid CPU+GPU engine that requests the portfolio phase."""
+
+    name = "portfolio"
+    #: Honored by :func:`repro.api._run_mip_engine`: inject default
+    #: portfolio options when the caller didn't configure the phase.
+    wants_portfolio = True

@@ -15,7 +15,10 @@ Names registered by default:
   — the paper's §5 strategies (metered devices);
 - ``"pdhg"``, ``"pdhg_gpu"`` — restarted first-order node LPs
   (:mod:`repro.strategies.pdhg_engine`), degrading
-  pdhg_gpu → pdhg → direct so the chain passes through a CPU host.
+  pdhg_gpu → pdhg → direct so the chain passes through a CPU host;
+- ``"portfolio"`` — the hybrid engine fronted by the batched
+  primal-heuristic portfolio (:mod:`repro.mip.portfolio`), degrading
+  portfolio → hybrid so a faulted device drops the heuristic phase.
 
 ``register_strategy`` lets experiments add their own factories;
 re-registering an existing name requires ``overwrite=True`` so typos
@@ -101,6 +104,7 @@ def _register_builtins() -> None:
     from repro.strategies.gpu_only import GpuOnlyEngine
     from repro.strategies.hybrid import HybridEngine
     from repro.strategies.pdhg_engine import PdhgEngine
+    from repro.strategies.portfolio_engine import PortfolioEngine
 
     register_strategy(
         "direct",
@@ -129,6 +133,12 @@ def _register_builtins() -> None:
         "big_mip_4",
         lambda opts: BigMipEngine(num_devices=4, simplex_options=opts),
         "one big MIP spread across 4 devices (strategy 4)",
+        fallback="hybrid",
+    )
+    register_strategy(
+        "portfolio",
+        lambda opts: PortfolioEngine(simplex_options=opts),
+        "hybrid engine with a batched primal-heuristic portfolio phase",
         fallback="hybrid",
     )
     register_strategy(

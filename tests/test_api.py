@@ -82,6 +82,7 @@ class TestReportShape:
         assert set(d) == {
             "status",
             "objective",
+            "mode",
             "strategy",
             "trace_id",
             "bounds",
