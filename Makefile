@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke warm-smoke portfolio-smoke serve-bench fuzz chaos guard examples clean
+.PHONY: install test bench bench-smoke warm-smoke portfolio-smoke cluster-smoke serve-bench fuzz chaos guard examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,7 +16,7 @@ bench-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro bench-smoke \
 		--out BENCH_smoke.json --check BENCH_pdhg.json --check BENCH_s1.json \
 		--check BENCH_chaos.json --check BENCH_warm.json \
-		--check BENCH_portfolio.json
+		--check BENCH_portfolio.json --check BENCH_s2.json
 
 warm-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro warm-bench \
@@ -25,6 +25,10 @@ warm-smoke:
 portfolio-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro portfolio-bench \
 		--node-limit 2000 --out BENCH_portfolio.json --min-speedup 5.0
+
+cluster-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro cluster-bench \
+		--shards 1,2,4 --requests 400 --out BENCH_s2.json --min-speedup 3.0
 
 fuzz:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro fuzz --budget 50 --seed 0

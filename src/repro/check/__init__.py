@@ -27,6 +27,7 @@ from repro.check.differential import (
     DifferentialReport,
     Disagreement,
     SolverRun,
+    differential_cluster,
     differential_lp,
     differential_mip,
     differential_warm_lp,
@@ -59,6 +60,7 @@ __all__ = [
     "certify_mip_result",
     "certify_mip_solution",
     "check_metamorphic",
+    "differential_cluster",
     "differential_lp",
     "differential_mip",
     "differential_warm_lp",

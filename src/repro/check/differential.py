@@ -11,6 +11,13 @@ Runs that end in an inconclusive status (iteration limits) are recorded
 but never flagged — only *contradictory terminal answers* count as a
 disagreement: OPTIMAL objectives apart beyond tolerance, or one solver
 proving a status another solver's certificate-grade answer excludes.
+
+The serving stack has its own lane: :func:`differential_cluster` replays
+one request stream through a plain :class:`repro.serve.SolveService` and
+a one-shard :class:`repro.cluster.ClusterService` over a zero-cost
+network hop, and demands bitwise-equal ``report_dict`` responses modulo
+``trace_id`` — the whole routing/cache/admission tier must be
+observationally invisible at N=1.
 """
 
 from __future__ import annotations
@@ -231,6 +238,92 @@ def differential_lp(
                 )
 
     report._compare_pairs(rtol)
+    return report
+
+
+def differential_cluster(
+    stream: Sequence,
+    num_workers: int = 2,
+    policy=None,
+) -> DifferentialReport:
+    """Cluster-equivalence lane: a 1-shard cluster *is* the service.
+
+    Replays ``stream`` — ``(arrival_time, problem)`` pairs with
+    non-decreasing arrivals — through a plain
+    :class:`repro.serve.SolveService` and a one-group
+    :class:`repro.cluster.ClusterService` over the zero-cost network
+    (``repro.comm.network.ZERO_COST``), in the same submission order.
+    With one shard there is nothing to route, spill, shed, or replicate,
+    so every response — cache hits, coalesced duplicates, parametric
+    warm answers included — must come back **bitwise equal** as a
+    ``report_dict``, modulo ``trace_id`` (the cluster stamps its own).
+    Any field drift is a ``kind="response"`` disagreement: the front
+    door changed an answer it was only supposed to forward.
+    """
+    from repro.cluster.service import ClusterService
+    from repro.comm.network import ZERO_COST
+    from repro.serve.batching import BatchingPolicy
+    from repro.serve.service import SolveService
+
+    policy = policy if policy is not None else BatchingPolicy()
+    single = SolveService(policy=policy, num_workers=num_workers)
+    cluster = ClusterService(
+        groups=1, policy=policy, num_workers=num_workers, network=ZERO_COST
+    )
+    for at, problem in stream:
+        single.submit(problem, at=at)
+        cluster.submit(problem, at=at)
+    left = single.close()
+    right = cluster.close()
+
+    report = DifferentialReport(problem_name=f"cluster-vs-serve[{len(left)}]")
+
+    def summarize(name: str, responses) -> None:
+        ok = sum(1 for r in responses if r.ok)
+        total = sum(r.objective for r in responses if r.objective is not None)
+        report.runs.append(
+            SolverRun(
+                name=name,
+                status="stream",
+                objective=float(total),
+                conclusive=False,
+                note=f"{len(responses)} responses, {ok} ok",
+            )
+        )
+
+    summarize("serve", left)
+    summarize("cluster", right)
+
+    if len(left) != len(right):
+        report.disagreements.append(
+            Disagreement(
+                left="serve",
+                right="cluster",
+                kind="count",
+                left_value=str(len(left)),
+                right_value=str(len(right)),
+                delta=float(abs(len(left) - len(right))),
+            )
+        )
+        return report
+
+    for l_resp, r_resp in zip(left, right):
+        dl = l_resp.to_dict()
+        dr = r_resp.to_dict()
+        dl.pop("trace_id", None)
+        dr.pop("trace_id", None)
+        if dl == dr:
+            continue
+        fields = [k for k in sorted(set(dl) | set(dr)) if dl.get(k) != dr.get(k)]
+        report.disagreements.append(
+            Disagreement(
+                left=f"serve[{l_resp.request_id}]",
+                right=f"cluster[{r_resp.request_id}]",
+                kind="response",
+                left_value=repr({k: dl.get(k) for k in fields})[:400],
+                right_value=repr({k: dr.get(k) for k in fields})[:400],
+            )
+        )
     return report
 
 

@@ -274,6 +274,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="first-incumbent corpus only (skip the robustness rows)",
     )
 
+    cluster_bench = sub.add_parser(
+        "cluster-bench",
+        help="S2: sharded-cluster throughput/latency sweep under "
+        "heavy-tailed traffic, exported as validated benchmark JSON",
+    )
+    cluster_bench.add_argument(
+        "--shards", default="1,2,4",
+        help="comma-separated shard counts to sweep (first = baseline)",
+    )
+    cluster_bench.add_argument("--requests", type=int, default=400)
+    cluster_bench.add_argument(
+        "--pool-size", type=int, default=128, dest="pool_size",
+        help="distinct problems in the shape-diverse pool",
+    )
+    cluster_bench.add_argument("--workers", type=int, default=2)
+    cluster_bench.add_argument(
+        "--router", default="hash", choices=("hash", "least_loaded")
+    )
+    cluster_bench.add_argument(
+        "--mean-interarrival", type=float, default=4e-5,
+        dest="mean_interarrival",
+        help="mean simulated seconds between arrivals (Pareto gaps)",
+    )
+    cluster_bench.add_argument("--seed", type=int, default=0)
+    cluster_bench.add_argument(
+        "--no-slo", action="store_true",
+        help="disable SLO admission (no shedding columns)",
+    )
+    cluster_bench.add_argument("-o", "--out", default="BENCH_s2.json")
+    cluster_bench.add_argument(
+        "--min-speedup", type=float, default=3.0, dest="min_speedup",
+        help="fail unless peak-vs-base throughput reaches this factor",
+    )
+
     serve = sub.add_parser(
         "serve-bench",
         help="sweep the batching solve service over batching policies (§5.5)",
@@ -752,6 +786,68 @@ def cmd_portfolio_bench(args) -> int:
     return 0
 
 
+def cmd_cluster_bench(args) -> int:
+    """``repro cluster-bench``: the S2 measurement + artifact.
+
+    Replays one heavy-tailed stream against every shard count, writes
+    ``BENCH_s2.json`` through the :mod:`repro.obs.bench` schema,
+    re-loads it through the validator, and gates on the peak-vs-base
+    throughput speedup plus sub-linear p99 growth and zero gold sheds —
+    the CI ``cluster-smoke`` job's entry point.
+    """
+    from repro.cluster import cluster_bench_payload
+    from repro.obs.bench import load_bench_json, write_bench_json
+
+    try:
+        shard_counts = [int(tok) for tok in args.shards.split(",") if tok]
+    except ValueError:
+        print(f"error: bad --shards {args.shards!r}", file=sys.stderr)
+        return 2
+    if not shard_counts:
+        print("error: --shards is empty", file=sys.stderr)
+        return 2
+
+    payload = cluster_bench_payload(
+        shard_counts=shard_counts,
+        num_requests=args.requests,
+        pool_size=args.pool_size,
+        num_workers=args.workers,
+        router=args.router,
+        mean_interarrival=args.mean_interarrival,
+        seed=args.seed,
+        with_slo=not args.no_slo,
+    )
+    write_bench_json(args.out, payload)
+    loaded = load_bench_json(args.out)
+    summary = loaded["summary"]
+    print(
+        f"cluster-bench: wrote {args.out} ({len(loaded['rows'])} rows, "
+        f"{summary['base_shards']}->{summary['peak_shards']} shards: "
+        f"throughput x{summary['throughput_speedup']:.2f}, "
+        f"p99 ratio {summary['p99_ratio']:.3f}, "
+        f"shed gold/silver/bronze "
+        f"{summary['shed_rate_gold_peak']:.0%}/"
+        f"{summary['shed_rate_silver_peak']:.0%}/"
+        f"{summary['shed_rate_bronze_peak']:.0%})"
+    )
+    failed = []
+    if summary["throughput_speedup"] < args.min_speedup:
+        failed.append(
+            f"throughput_speedup {summary['throughput_speedup']:.3f} "
+            f"< required {args.min_speedup}"
+        )
+    if not summary["p99_sublinear"]:
+        failed.append(
+            f"p99 grew super-linearly (ratio {summary['p99_ratio']:.3f} "
+            f">= shard ratio {summary['shard_ratio']:.3f})"
+        )
+    if not args.no_slo and summary["shed_rate_gold_peak"] > 0.0:
+        failed.append("gold traffic was shed")
+    for reason in failed:
+        print(f"cluster-bench: FAILED {reason}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def cmd_serve_bench(args) -> int:
     """``repro serve-bench``: offered load vs batching policy sweep."""
     from repro.serve import BatchingPolicy, lp_pool, run_load, synthetic_stream
@@ -861,6 +957,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-smoke": cmd_bench_smoke,
         "warm-bench": cmd_warm_bench,
         "portfolio-bench": cmd_portfolio_bench,
+        "cluster-bench": cmd_cluster_bench,
         "serve-bench": cmd_serve_bench,
     }
     try:

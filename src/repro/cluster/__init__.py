@@ -1,0 +1,67 @@
+"""repro.cluster — sharded multi-group serving behind one front door.
+
+The ROADMAP's horizontal-scaling layer: N independent
+:class:`repro.serve.SolveService` worker pools (shards), a
+consistent-hash / least-loaded router keyed on structure fingerprints,
+a shared result-cache tier with per-shard replicas, SLO-aware admission
+with priority classes, autoscaling, and the S2 cluster benchmark.
+"""
+
+from repro.cluster.admission import (
+    PRIORITY_CLASSES,
+    SLOAdmission,
+    SLOPolicy,
+    priority_rank,
+)
+from repro.cluster.bench import (
+    S2_SLO,
+    cluster_bench_payload,
+    run_cluster_point,
+    s2_pool,
+)
+from repro.cluster.cache import ClusterCache, ENTRY_WIRE_BYTES
+from repro.cluster.router import (
+    ConsistentHashRouter,
+    HashRing,
+    LeastLoadedRouter,
+    VNODES,
+    make_router,
+    routing_key,
+)
+from repro.cluster.service import (
+    AutoscalePolicy,
+    ClusterService,
+    request_wire_bytes,
+)
+from repro.cluster.traffic import (
+    ClusterStreamItem,
+    TrafficSpec,
+    heavy_tailed_stream,
+    replay_cluster,
+)
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "SLOAdmission",
+    "SLOPolicy",
+    "priority_rank",
+    "S2_SLO",
+    "cluster_bench_payload",
+    "run_cluster_point",
+    "s2_pool",
+    "ClusterCache",
+    "ENTRY_WIRE_BYTES",
+    "ConsistentHashRouter",
+    "HashRing",
+    "LeastLoadedRouter",
+    "VNODES",
+    "make_router",
+    "routing_key",
+    "AutoscalePolicy",
+    "ClusterService",
+    "request_wire_bytes",
+    "ClusterStreamItem",
+    "TrafficSpec",
+    "heavy_tailed_stream",
+    "replay_cluster",
+]

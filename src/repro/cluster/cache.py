@@ -1,0 +1,178 @@
+"""Shared result-cache tier with per-shard replicas.
+
+The single-pool service already dedups within its own shard
+(:class:`repro.serve.cache.ResultCache`).  At cluster scale two new
+cases appear: a request spilled to a non-owner shard (least-loaded
+fallback), and a request re-routed after a group kill — both would
+re-solve a problem some *other* shard already answered.  The cluster
+cache tier closes that hole:
+
+- the **owner tier** is one logical fingerprint → entry map (the
+  "shared" cache a real deployment would back with a k/v store);
+- each shard holds a bounded **replica** of the entries it has touched;
+  a replica hit is a local host lookup, an owner-tier hit pays one
+  simulated network round trip (:class:`repro.comm.network.NetworkSpec`)
+  and then populates the shard's replica;
+- **invalidation is fingerprint-keyed**: :meth:`invalidate` removes one
+  fingerprint everywhere (owner + every replica), and
+  :meth:`drop_replica` wipes a whole shard's replica when the group is
+  killed or drained — a dead shard must never satisfy a later lookup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.comm.network import NetworkSpec, SHARED_MEMORY
+from repro.errors import ServiceError
+from repro.serve.cache import CACHE_LOOKUP_SECONDS, CacheEntry
+
+#: Structural size estimate of one cached answer crossing the network
+#: (status + objective + a small solution vector envelope).
+ENTRY_WIRE_BYTES = 512
+
+
+class ClusterCache:
+    """Owner tier + per-shard LRU replicas, fingerprint invalidation."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        replica_capacity: int = 512,
+        network: NetworkSpec = SHARED_MEMORY,
+    ):
+        if capacity < 0:
+            raise ServiceError(f"cache capacity must be >= 0, got {capacity}")
+        if replica_capacity < 0:
+            raise ServiceError(
+                f"replica capacity must be >= 0, got {replica_capacity}"
+            )
+        self.capacity = capacity
+        self.replica_capacity = replica_capacity
+        self.network = network
+        self._owner: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._replicas: Dict[int, "OrderedDict[str, CacheEntry]"] = {}
+        self.local_hits = 0
+        self.remote_hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.replica_drops = 0
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    def attach_shard(self, shard: int) -> None:
+        """Create an empty replica for a (new) shard (idempotent)."""
+        self._replicas.setdefault(shard, OrderedDict())
+
+    def replica_len(self, shard: int) -> int:
+        """Entries currently replicated at ``shard``."""
+        return len(self._replicas.get(shard, ()))
+
+    # -- lookup / insert ---------------------------------------------------------
+
+    def lookup(
+        self, fingerprint: str, shard: int
+    ) -> Tuple[Optional[CacheEntry], float]:
+        """Probe ``shard``'s replica, then the owner tier.
+
+        Returns ``(entry, simulated seconds)``: a local replica hit
+        costs one lookup; an owner-tier hit adds a request/response
+        network round trip and replicates the entry locally; a miss
+        costs the local probe only (the owner probe rides the solve
+        dispatch the caller is about to do anyway).
+        """
+        replica = self._replicas.setdefault(shard, OrderedDict())
+        entry = replica.get(fingerprint)
+        if entry is not None:
+            replica.move_to_end(fingerprint)
+            self.local_hits += 1
+            return entry, CACHE_LOOKUP_SECONDS
+        entry = self._owner.get(fingerprint)
+        if entry is not None:
+            self._owner.move_to_end(fingerprint)
+            self.remote_hits += 1
+            cost = CACHE_LOOKUP_SECONDS + self.network.message_time(
+                64
+            ) + self.network.message_time(ENTRY_WIRE_BYTES)
+            self._put(replica, fingerprint, entry, self.replica_capacity)
+            return entry, cost
+        self.misses += 1
+        return None, CACHE_LOOKUP_SECONDS
+
+    def insert(self, fingerprint: str, entry: CacheEntry, shard: int) -> None:
+        """Write-through: owner tier plus the producing shard's replica."""
+        if self.capacity == 0:
+            return
+        self._put(self._owner, fingerprint, entry, self.capacity)
+        replica = self._replicas.setdefault(shard, OrderedDict())
+        self._put(replica, fingerprint, entry, self.replica_capacity)
+
+    @staticmethod
+    def _put(
+        store: "OrderedDict[str, CacheEntry]",
+        key: str,
+        entry: CacheEntry,
+        capacity: int,
+    ) -> None:
+        if capacity == 0:
+            return
+        if key in store:
+            store.move_to_end(key)
+        store[key] = entry
+        while len(store) > capacity:
+            store.popitem(last=False)
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Remove one fingerprint from the owner tier and every replica.
+
+        Returns how many stores held it (0 when it was unknown).
+        """
+        removed = 0
+        if self._owner.pop(fingerprint, None) is not None:
+            removed += 1
+        for replica in self._replicas.values():
+            if replica.pop(fingerprint, None) is not None:
+                removed += 1
+        if removed:
+            self.invalidations += 1
+        return removed
+
+    def drop_replica(self, shard: int) -> int:
+        """Wipe a shard's replica (group killed or drained).
+
+        The owner tier keeps the entries — the *answers* are still
+        valid; only the dead shard's local copies must go.  Returns the
+        number of entries dropped.
+        """
+        replica = self._replicas.pop(shard, None)
+        dropped = len(replica) if replica else 0
+        if replica is not None:
+            self.replica_drops += 1
+        return dropped
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """(local + remote hits) / lookups, 0.0 before any lookup."""
+        total = self.local_hits + self.remote_hits + self.misses
+        return (self.local_hits + self.remote_hits) / total if total else 0.0
+
+    def stats(self) -> Dict:
+        return {
+            "entries": len(self._owner),
+            "local_hits": self.local_hits,
+            "remote_hits": self.remote_hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "invalidations": self.invalidations,
+            "replica_drops": self.replica_drops,
+            "replicas": {
+                shard: len(replica)
+                for shard, replica in sorted(self._replicas.items())
+            },
+        }

@@ -1,0 +1,123 @@
+"""Heavy-tailed traffic for the cluster tier.
+
+The S1 streams (:mod:`repro.serve.workload`) use exponential
+interarrivals — fine for one pool, but horizontal sharding earns its
+keep under the traffic real services see: *bursty* arrivals (Pareto
+interarrivals: most gaps tiny, a heavy tail of long lulls, so load
+comes in clumps) and *skewed* popularity (Zipf: a few hot problems
+dominate, a long tail of one-offs).  The hot head stresses the cache /
+coalescing path and the consistent-hash placement; the distinct tail is
+the real device work sharding spreads out.
+
+Every request also carries a priority class drawn from a configurable
+``gold``/``silver``/``bronze`` mix, which is what the SLO admission
+controller sheds by.
+
+Everything is seeded and deterministic: the same
+:class:`TrafficSpec` always produces the identical stream, so shard
+sweeps compare like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.serve.request import Problem
+from repro.cluster.admission import PRIORITY_CLASSES
+
+#: One stream element: (arrival time, problem, priority class).
+ClusterStreamItem = Tuple[float, Problem, str]
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of one heavy-tailed request stream."""
+
+    num_requests: int = 200
+    #: Mean interarrival gap in simulated seconds.
+    mean_interarrival: float = 1e-3
+    #: Pareto tail index for interarrivals; smaller → heavier bursts.
+    #: Must be > 1 so the mean exists.
+    pareto_alpha: float = 1.5
+    #: Zipf exponent for problem popularity; 0 → uniform, larger →
+    #: hotter head.
+    zipf_s: float = 1.1
+    #: Probability mix over (gold, silver, bronze); must sum to 1.
+    priority_mix: Tuple[float, float, float] = (0.2, 0.5, 0.3)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_requests < 1:
+            raise ServiceError("num_requests must be >= 1")
+        if not self.mean_interarrival > 0:
+            raise ServiceError("mean_interarrival must be positive")
+        if not self.pareto_alpha > 1.0:
+            raise ServiceError(
+                "pareto_alpha must be > 1 (finite-mean interarrivals)"
+            )
+        if self.zipf_s < 0:
+            raise ServiceError("zipf_s must be >= 0")
+        if len(self.priority_mix) != len(PRIORITY_CLASSES):
+            raise ServiceError(
+                f"priority_mix needs {len(PRIORITY_CLASSES)} entries"
+            )
+        if abs(sum(self.priority_mix) - 1.0) > 1e-9:
+            raise ServiceError("priority_mix must sum to 1")
+
+
+def heavy_tailed_stream(
+    problems: Sequence[Problem], spec: TrafficSpec
+) -> List[ClusterStreamItem]:
+    """Deterministic Pareto-interarrival, Zipf-popularity stream.
+
+    Interarrival gaps are Lomax (Pareto II) samples scaled to the
+    requested mean: ``mean * (alpha - 1) * pareto(alpha)``.  Problem
+    popularity follows a truncated Zipf over the pool (rank ``r`` drawn
+    with weight ``1 / r**s``), with ranks shuffled once per stream so
+    the "hot" problems are not always the pool's first entries.
+    """
+    if not problems:
+        raise ServiceError("heavy_tailed_stream needs a non-empty pool")
+    rng = np.random.default_rng(spec.seed)
+    n_pool = len(problems)
+    weights = 1.0 / np.arange(1, n_pool + 1, dtype=float) ** spec.zipf_s
+    weights /= weights.sum()
+    rank_to_problem = rng.permutation(n_pool)
+    scale = spec.mean_interarrival * (spec.pareto_alpha - 1.0)
+    gaps = scale * rng.pareto(spec.pareto_alpha, size=spec.num_requests)
+    arrivals = np.cumsum(gaps)
+    ranks = rng.choice(n_pool, size=spec.num_requests, p=weights)
+    priorities = rng.choice(
+        len(PRIORITY_CLASSES), size=spec.num_requests, p=list(spec.priority_mix)
+    )
+    return [
+        (
+            float(arrivals[i]),
+            problems[int(rank_to_problem[ranks[i]])],
+            PRIORITY_CLASSES[int(priorities[i])],
+        )
+        for i in range(spec.num_requests)
+    ]
+
+
+def replay_cluster(cluster, stream: Sequence[ClusterStreamItem]) -> Tuple[list, int]:
+    """Submit a cluster stream in arrival order and drain.
+
+    Saturation rejections are counted, not raised (shed responses are
+    *not* rejections — they are delivered answers).  Returns
+    ``(responses, num_rejected)``.
+    """
+    from repro.errors import ServiceSaturated
+
+    rejected = 0
+    for at, problem, priority in stream:
+        try:
+            cluster.submit(problem, at=at, priority=priority)
+        except ServiceSaturated:
+            rejected += 1
+    responses = cluster.drain()
+    return responses, rejected

@@ -35,6 +35,12 @@ SUMMIT_FAT_TREE = NetworkSpec(name="summit-fat-tree", latency=1.5e-6, bandwidth=
 #: A loopback network for single-node (threaded) runs: shared memory.
 SHARED_MEMORY = NetworkSpec(name="shared-memory", latency=2e-7, bandwidth=100e9)
 
+#: A free network: every message takes exactly 0 seconds.  Used by the
+#: differential lane to make a 1-shard cluster timing-identical to a
+#: plain single-pool service (any nonzero routing cost would shift
+#: arrival times and break bitwise response equality).
+ZERO_COST = NetworkSpec(name="zero-cost", latency=0.0, bandwidth=float("inf"))
+
 
 def payload_bytes(payload: Any) -> int:
     """Structural estimate of a payload's serialized size in bytes."""

@@ -34,6 +34,7 @@ package's injector — keep this ``__init__`` limited to ``plan`` +
 from repro.faults.injector import FaultInjector, active, injecting
 from repro.faults.plan import (
     SITE_ECC,
+    SITE_GROUP,
     SITE_KERNEL,
     SITE_NODE,
     SITE_RANK,
@@ -60,5 +61,6 @@ __all__ = [
     "SITE_RANK",
     "SITE_WORKER",
     "SITE_NODE",
+    "SITE_GROUP",
     "TRANSFER_KINDS",
 ]

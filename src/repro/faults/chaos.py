@@ -11,7 +11,12 @@ repo's real user-facing surfaces under it:
   and the result cache must never hold a failed answer;
 - **distributed** — for plans touching ``comm.rank``, the
   supervisor–worker solve via rank-loss recovery; the incumbent must
-  match the undisturbed run.
+  match the undisturbed run;
+- **cluster** — for plans touching ``cluster.group``, a sharded stream
+  through :class:`repro.cluster.ClusterService` under whole-group
+  fail-stops: every admitted request answered exactly once (in-flight
+  work re-routed, never dropped, never double-answered) and no dead
+  shard left holding a cache replica.
 
 Every scenario also checks the injector's books: each injected fault
 resolved exactly once (``injected == recovered + tolerated + escaped``)
@@ -31,6 +36,7 @@ from repro.errors import FaultError
 from repro.faults.injector import injecting
 from repro.faults.plan import (
     SITE_ECC,
+    SITE_GROUP,
     SITE_KERNEL,
     SITE_NODE,
     SITE_RANK,
@@ -145,6 +151,15 @@ def builtin_corpus(seed: int = 0) -> List[FaultPlan]:
             scheduled=(ScheduledFault(site=SITE_RANK, at=2, rank=1),),
             retry=retry,
             name="rank-drop",
+        ),
+        FaultPlan(
+            seed=seed,
+            scheduled=(
+                ScheduledFault(site=SITE_GROUP, at=2),
+                ScheduledFault(site=SITE_GROUP, at=5),
+            ),
+            retry=retry,
+            name="group-kill",
         ),
         FaultPlan.generate(seed, intensity="light"),
         FaultPlan.generate(seed + 1, intensity="heavy"),
@@ -303,6 +318,60 @@ def _distributed_scenario(plan: FaultPlan, seed: int, items: int) -> ChaosRun:
     return run
 
 
+def _cluster_scenario(
+    plan: FaultPlan, seed: int, items: int, requests: int = 8
+) -> ChaosRun:
+    """A sharded stream under whole-group kills; every id answered once.
+
+    Drives a 3-group :class:`repro.cluster.ClusterService`; the front
+    door consults ``cluster.group`` once per admission, so a scheduled
+    kill fires at a deterministic request index.  The invariants: the
+    killed groups' in-flight work is re-routed (nothing lost, nothing
+    double-answered) and no dead shard still holds a cache replica.
+    """
+    from repro.cluster import ClusterService
+    from repro.serve.workload import mip_pool
+
+    pool = mip_pool(max(2, requests // 2), num_items=items, seed=seed)
+    run = ChaosRun(plan=plan.name, scenario="cluster", ok=True)
+    try:
+        with injecting(plan) as injector:
+            cluster = ClusterService(groups=3, num_workers=2)
+            ids = []
+            for i in range(requests):
+                ids.append(cluster.submit(pool[i % len(pool)], at=1e-4 * i))
+            responses = cluster.close()
+            _accounting(run, injector)
+    except FaultError as exc:
+        return ChaosRun(
+            plan=plan.name, scenario="cluster", ok=False,
+            detail=f"unrecovered {type(exc).__name__}: {exc}",
+        )
+    answered = [r.request_id for r in responses]
+    if sorted(answered) != sorted(ids):
+        run.ok = False
+        lost = set(ids) - set(answered)
+        dup = len(answered) - len(set(answered))
+        run.detail = f"lost {sorted(lost)}, {dup} duplicated"
+        return run
+    if plan.touches(SITE_GROUP) and not cluster.metrics.count(
+        "cluster.group_kills"
+    ):
+        run.ok = False
+        run.detail = "plan touches cluster.group but no group was killed"
+        return run
+    # A dead shard must never satisfy a later lookup: the only replicas
+    # left standing belong to groups that are still alive.
+    replicas = set(cluster.cache.stats()["replicas"])
+    if replicas != set(cluster.group_ids):
+        run.ok = False
+        run.detail = (
+            f"cache replicas {sorted(replicas)} != "
+            f"live groups {cluster.group_ids}"
+        )
+    return run
+
+
 # ---------------------------------------------------------------------------
 # The harness
 # ---------------------------------------------------------------------------
@@ -398,6 +467,10 @@ def run_chaos(
             )
         if plan.touches(SITE_RANK):
             scenarios.append(lambda p: _distributed_scenario(p, seed, items))
+        if plan.touches(SITE_GROUP):
+            scenarios.append(
+                lambda p: _cluster_scenario(p, seed, items, requests=requests)
+            )
         for scenario in scenarios:
             run = scenario(plan)
             report.runs.append(run)

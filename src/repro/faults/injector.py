@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.faults.plan import (
     SITE_ECC,
+    SITE_GROUP,
     SITE_KERNEL,
     SITE_NODE,
     SITE_RANK,
@@ -267,6 +268,16 @@ class FaultInjector:
     def node_kill(self) -> bool:
         """True when the B&B driver dies after this node pop."""
         return self.fire(SITE_NODE) is not None
+
+    def group_kill(self) -> bool:
+        """True when a whole cluster worker group fail-stops now.
+
+        The cluster front door consults this once per admission while
+        more than one group is live (the last group is never killable);
+        on True it picks the deterministic victim, re-routes the dead
+        group's in-flight work, and resolves the fault as recovered.
+        """
+        return self.fire(SITE_GROUP) is not None
 
 
 _ACTIVE: Optional[FaultInjector] = None

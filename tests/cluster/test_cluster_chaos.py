@@ -1,0 +1,145 @@
+"""Whole-group-kill chaos over the cluster tier (satellite of PR 10).
+
+The contract under a group fail-stop:
+
+- responses the group delivered before the kill stay delivered (exactly
+  once — never re-answered);
+- everything the group still owed is re-routed to the survivors and
+  answered exactly once (never dropped, never double-answered);
+- the dead shard's cache replica is invalidated, while the shared owner
+  tier keeps the still-valid answers.
+
+Both surfaces are pinned: direct :meth:`ClusterService.kill_group`
+calls, and the fault-injection path (``cluster.group`` site) that
+``repro chaos`` replays via the builtin ``group-kill`` plan.
+"""
+
+import pytest
+
+from repro.cluster import ClusterService
+from repro.errors import ServiceError
+from repro.faults.chaos import builtin_corpus, run_chaos
+from repro.faults.injector import injecting
+from repro.faults.plan import SITE_GROUP, FaultPlan, ScheduledFault
+from repro.serve.workload import mip_pool
+
+POOL = mip_pool(4, num_items=8, seed=11)
+
+
+def _submit_stream(cluster, requests, gap=1e-4):
+    ids = []
+    for i in range(requests):
+        ids.append(cluster.submit(POOL[i % len(POOL)], at=gap * i))
+    return ids
+
+
+class TestKillGroupDirect:
+    def test_inflight_rerouted_never_dropped_or_duplicated(self):
+        cluster = ClusterService(groups=3, num_workers=2)
+        ids = _submit_stream(cluster, 12)
+        victim = cluster.group_ids[0]
+        rerouted = cluster.kill_group(victim, at=cluster.now)
+        responses = cluster.close()
+        answered = [r.request_id for r in responses]
+        assert sorted(answered) == sorted(ids)
+        assert len(answered) == len(set(answered))
+        assert cluster.metrics.count("cluster.rerouted") == rerouted
+
+    def test_delivered_responses_stay_delivered(self):
+        cluster = ClusterService(groups=3, num_workers=2)
+        ids = _submit_stream(cluster, 8)
+        # A late arrival forces a harvest pass: earlier completions are
+        # delivered before any kill happens.
+        late = cluster.submit(POOL[0], at=10.0)
+        delivered = {
+            rid: cluster.result(rid)
+            for rid in ids
+            if cluster.result(rid) is not None
+        }
+        assert delivered, "expected some responses delivered pre-kill"
+        victim = cluster.group_ids[-1]
+        cluster.kill_group(victim, at=cluster.now)
+        for rid, response in delivered.items():
+            assert cluster.result(rid) is response
+        answered = [r.request_id for r in cluster.close()]
+        assert sorted(answered) == sorted(ids + [late])
+        assert len(answered) == len(set(answered))
+
+    def test_dead_shards_cache_replica_is_invalidated(self):
+        cluster = ClusterService(groups=2, num_workers=2)
+        ids = _submit_stream(cluster, 6)
+        # Let everything complete so both replicas hold entries.
+        cluster.submit(POOL[0], at=10.0)
+        victim = max(
+            cluster.group_ids, key=lambda g: cluster.cache.replica_len(g)
+        )
+        assert cluster.cache.replica_len(victim) > 0
+        cluster.kill_group(victim, at=cluster.now)
+        stats = cluster.cache.stats()
+        assert victim not in stats["replicas"]
+        assert stats["replica_drops"] >= 1
+        # The owner tier keeps the answers — they are still valid.
+        assert stats["entries"] > 0
+        assert sorted(r.request_id for r in cluster.close()) == sorted(
+            ids + [ids[-1] + 1]
+        )
+
+    def test_killing_the_last_group_is_refused(self):
+        cluster = ClusterService(groups=1, num_workers=2)
+        with pytest.raises(ServiceError):
+            cluster.kill_group(cluster.group_ids[0], at=0.0)
+
+    def test_sequential_kills_down_to_one_group(self):
+        cluster = ClusterService(groups=3, num_workers=2)
+        ids = _submit_stream(cluster, 9)
+        cluster.kill_group(cluster.group_ids[0], at=cluster.now)
+        cluster.kill_group(cluster.group_ids[0], at=cluster.now)
+        assert len(cluster.group_ids) == 1
+        answered = [r.request_id for r in cluster.close()]
+        assert sorted(answered) == sorted(ids)
+        assert len(answered) == len(set(answered))
+
+
+class TestGroupKillInjection:
+    def test_scheduled_group_kill_fires_and_recovers(self):
+        plan = FaultPlan(
+            seed=0,
+            scheduled=(ScheduledFault(site=SITE_GROUP, at=2),),
+            name="one-kill",
+        )
+        with injecting(plan) as injector:
+            cluster = ClusterService(groups=3, num_workers=2)
+            ids = _submit_stream(cluster, 8)
+            responses = cluster.close()
+        assert cluster.metrics.count("cluster.group_kills") == 1
+        assert len(cluster.group_ids) == 2
+        assert injector.clean
+        assert injector.counts()["injected"] == 1
+        assert injector.counts()["recovered"] == 1
+        answered = [r.request_id for r in responses]
+        assert sorted(answered) == sorted(ids)
+        assert len(answered) == len(set(answered))
+
+    def test_last_group_never_consults_the_site(self):
+        plan = FaultPlan(
+            seed=0, rates={SITE_GROUP: 1.0}, max_faults=None, name="kill-all"
+        )
+        with injecting(plan) as injector:
+            cluster = ClusterService(groups=3, num_workers=2)
+            ids = _submit_stream(cluster, 8)
+            responses = cluster.close()
+            # Rate 1.0 kills a group on every eligible admission; once a
+            # single group is left, the site is never consulted again.
+            assert len(cluster.group_ids) == 1
+            assert injector.occurrences(SITE_GROUP) == 2
+        assert injector.clean
+        assert sorted(r.request_id for r in responses) == sorted(ids)
+
+    def test_builtin_group_kill_plan_passes_chaos(self):
+        corpus = [p for p in builtin_corpus(seed=0) if p.name == "group-kill"]
+        assert corpus, "group-kill plan missing from the builtin corpus"
+        report = run_chaos(plans=corpus, seed=0, items=8, requests=8)
+        assert report.ok, [run.to_dict() for run in report.runs]
+        scenarios = {run.scenario for run in report.runs}
+        assert "cluster" in scenarios
+        assert report.total_injected >= 2
